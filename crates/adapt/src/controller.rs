@@ -1,0 +1,247 @@
+//! The deployed closed loop: telemetry → firmware inference → predictive
+//! cluster gating (Figure 1 / Figure 3).
+//!
+//! At the end of prediction window `t`, the window's counters are routed
+//! to the microcontroller; during window `t+1` the firmware computes a
+//! prediction; at the start of window `t+2` the cluster configuration is
+//! applied. The CPU starts in high-performance mode and uses the
+//! predictor matching whichever mode the telemetry was recorded in.
+
+use crate::train::{TrainedAdaptModel, HORIZON};
+use psca_cpu::{ClusterSim, CpuConfig, Mode};
+use psca_trace::{TraceSource, VecTrace};
+
+/// Outcome of one closed-loop run over a trace.
+#[derive(Debug, Clone)]
+pub struct ClosedLoopResult {
+    /// Per-prediction-window gating decision, indexed by the window it
+    /// *applies to* (`None` for the first [`HORIZON`] windows).
+    pub predictions: Vec<Option<u8>>,
+    /// Mode each window actually ran in.
+    pub modes: Vec<Mode>,
+    /// Total energy of the adaptive run.
+    pub energy: f64,
+    /// Total cycles of the adaptive run.
+    pub cycles: u64,
+    /// Total instructions executed.
+    pub instructions: u64,
+    /// Fraction of windows spent in low-power mode.
+    pub low_power_residency: f64,
+}
+
+impl ClosedLoopResult {
+    /// Performance per watt: instructions per unit energy.
+    pub fn ppw(&self) -> f64 {
+        self.instructions as f64 / self.energy.max(f64::MIN_POSITIVE)
+    }
+
+    /// Aligned `(truth, prediction)` label vectors for windows that had a
+    /// prediction, given per-window ground truth.
+    pub fn aligned_labels(&self, truth: &[u8]) -> (Vec<u8>, Vec<u8>) {
+        let mut t = Vec::new();
+        let mut p = Vec::new();
+        for (i, pred) in self.predictions.iter().enumerate() {
+            if let (Some(pr), Some(&tr)) = (pred, truth.get(i)) {
+                t.push(tr);
+                p.push(*pr);
+            }
+        }
+        (t, p)
+    }
+}
+
+/// Runs the adaptive CPU over a recorded trace.
+///
+/// `warm` is replayed first (telemetry discarded); `window` is the
+/// measured region. The prediction window is the model's granularity in
+/// base intervals of `interval_insts`.
+pub fn run_closed_loop(
+    model: &TrainedAdaptModel,
+    warm: &VecTrace,
+    window: &VecTrace,
+    interval_insts: u64,
+) -> ClosedLoopResult {
+    let g = model.granularity;
+    let mut sim = ClusterSim::new(CpuConfig::skylake_scaled());
+    let mut warm_replay = warm.clone();
+    sim.warm_up(&mut warm_replay, warm.len() as u64);
+    let mut replay = window.clone();
+
+    let mut predictions: Vec<Option<u8>> = Vec::new();
+    let mut modes = Vec::new();
+    let mut pending: Vec<Option<Mode>> = Vec::new(); // indexed by window
+    let mut energy = 0.0;
+    let mut cycles = 0u64;
+    let mut instructions = 0u64;
+    let mut low_windows = 0usize;
+
+    let mut widx = 0usize;
+    'outer: loop {
+        // Apply any scheduled configuration for this window.
+        if let Some(Some(mode)) = pending.get(widx) {
+            sim.set_mode(*mode);
+        }
+        let window_mode = sim.mode();
+        // Run the window's base intervals, collecting telemetry rows.
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(g);
+        let mut row_cycles: Vec<u64> = Vec::with_capacity(g);
+        for _ in 0..g {
+            let Some(r) = sim.run_interval(&mut replay, interval_insts) else {
+                break 'outer;
+            };
+            energy += r.energy;
+            cycles += r.snapshot.cycles;
+            instructions += r.instructions;
+            rows.push(r.snapshot.as_slice().to_vec());
+            row_cycles.push(r.snapshot.cycles);
+        }
+        if rows.len() < g {
+            break;
+        }
+        modes.push(window_mode);
+        if window_mode == Mode::LowPower {
+            low_windows += 1;
+        }
+        // Counters from window t → configuration for window t+HORIZON.
+        let gate = model.predict(window_mode, &rows, &row_cycles);
+        let target = widx + HORIZON;
+        while pending.len() <= target {
+            pending.push(None);
+        }
+        pending[target] = Some(if gate { Mode::LowPower } else { Mode::HighPerf });
+        while predictions.len() <= target {
+            predictions.push(None);
+        }
+        predictions[target] = Some(gate as u8);
+        widx += 1;
+    }
+    predictions.truncate(modes.len());
+    let low_power_residency = if modes.is_empty() {
+        0.0
+    } else {
+        low_windows as f64 / modes.len() as f64
+    };
+    ClosedLoopResult {
+        predictions,
+        modes,
+        energy,
+        cycles,
+        instructions,
+        low_power_residency,
+    }
+}
+
+/// Records `(warm, window)` trace pair from a source, for replay through
+/// both the paired-mode collector and the closed loop.
+pub fn record_trace<S: TraceSource>(
+    source: &mut S,
+    warmup_insts: u64,
+    window_insts: u64,
+) -> (VecTrace, VecTrace) {
+    let warm = VecTrace::record(source, warmup_insts);
+    let window = VecTrace::record(source, window_insts);
+    (warm, window)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paired::{collect_paired, CorpusTelemetry};
+    use crate::train::ModelKind;
+    use crate::zoo;
+    use crate::ExperimentConfig;
+    use psca_workloads::{Archetype, PhaseGenerator};
+
+    fn corpus_and_model() -> (CorpusTelemetry, TrainedAdaptModel, ExperimentConfig) {
+        let mut traces = Vec::new();
+        for (i, a) in [
+            Archetype::DepChain,
+            Archetype::ScalarIlp,
+            Archetype::MemBound,
+            Archetype::Balanced,
+        ]
+        .iter()
+        .enumerate()
+        {
+            let mut gen = PhaseGenerator::new(a.center(), i as u64 + 30);
+            traces.push(collect_paired(&mut gen, 2_000, 24, 2_000, i as u32, "t", 1));
+        }
+        let corpus = CorpusTelemetry { traces };
+        let cfg = ExperimentConfig::quick();
+        let model = zoo::train(ModelKind::BestRf, &corpus, &cfg);
+        (corpus, model, cfg)
+    }
+
+    #[test]
+    fn closed_loop_runs_and_accounts() {
+        let (_, model, cfg) = corpus_and_model();
+        let mut gen = PhaseGenerator::new(Archetype::Balanced.center(), 99);
+        let (warm, window) = record_trace(&mut gen, 2_000, 48_000);
+        let res = run_closed_loop(&model, &warm, &window, cfg.interval_insts);
+        assert_eq!(res.instructions, 48_000);
+        assert!(res.energy > 0.0);
+        assert!(res.cycles > 0);
+        assert_eq!(res.modes.len(), 48_000 / (cfg.interval_insts * model.granularity as u64) as usize);
+        // The first HORIZON windows carry no prediction.
+        assert!(res.predictions[0].is_none());
+        assert!(res.predictions[1].is_none());
+    }
+
+    #[test]
+    fn gateable_workload_spends_time_in_low_power() {
+        let (_, model, cfg) = corpus_and_model();
+        let mut gen = PhaseGenerator::new(Archetype::DepChain.center(), 77);
+        let (warm, window) = record_trace(&mut gen, 2_000, 64_000);
+        let res = run_closed_loop(&model, &warm, &window, cfg.interval_insts);
+        assert!(
+            res.low_power_residency > 0.4,
+            "serial workload should gate: residency {}",
+            res.low_power_residency
+        );
+    }
+
+    #[test]
+    fn wide_workload_mostly_stays_high_perf() {
+        let (_, model, cfg) = corpus_and_model();
+        let mut gen = PhaseGenerator::new(Archetype::ScalarIlp.center(), 78);
+        let (warm, window) = record_trace(&mut gen, 2_000, 64_000);
+        let res = run_closed_loop(&model, &warm, &window, cfg.interval_insts);
+        assert!(
+            res.low_power_residency < 0.5,
+            "wide workload should not gate: residency {}",
+            res.low_power_residency
+        );
+    }
+
+    #[test]
+    fn adaptive_ppw_beats_static_on_gateable_workloads() {
+        let (_, model, cfg) = corpus_and_model();
+        let mut gen = PhaseGenerator::new(Archetype::DepChain.center(), 55);
+        let (warm, window) = record_trace(&mut gen, 2_000, 64_000);
+        let adaptive = run_closed_loop(&model, &warm, &window, cfg.interval_insts);
+        // Static high-performance baseline on the identical trace.
+        let mut gen2 = PhaseGenerator::new(Archetype::DepChain.center(), 55);
+        let paired = collect_paired(&mut gen2, 2_000, 32, 2_000, 0, "t", 1);
+        let hi_energy: f64 = paired.energy_hi.iter().sum();
+        let hi_insts: u64 = paired.insts.iter().sum();
+        let hi_ppw = hi_insts as f64 / hi_energy;
+        assert!(
+            adaptive.ppw() > hi_ppw,
+            "adaptive {} !> static {}",
+            adaptive.ppw(),
+            hi_ppw
+        );
+    }
+
+    #[test]
+    fn aligned_labels_skip_unpredicted_windows() {
+        let (_, model, cfg) = corpus_and_model();
+        let mut gen = PhaseGenerator::new(Archetype::Balanced.center(), 31);
+        let (warm, window) = record_trace(&mut gen, 2_000, 40_000);
+        let res = run_closed_loop(&model, &warm, &window, cfg.interval_insts);
+        let truth = vec![1u8; res.modes.len()];
+        let (t, p) = res.aligned_labels(&truth);
+        assert_eq!(t.len(), p.len());
+        assert_eq!(t.len(), res.predictions.iter().filter(|x| x.is_some()).count());
+    }
+}

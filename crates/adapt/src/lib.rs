@@ -1,0 +1,48 @@
+//! # psca-adapt
+//!
+//! The paper's primary contribution: an ML-driven adaptive CPU performing
+//! *predictive cluster gating*, with the blindspot-mitigating training
+//! pipeline that makes it deployable.
+//!
+//! The crate couples every substrate in the workspace:
+//!
+//! - [`Sla`] — service-level-agreement formalization (§3.1) and the
+//!   violation-window arithmetic of Eqs. 2–4;
+//! - [`collect_paired`] / [`TraceTelemetry`] — paired-mode dataset
+//!   generation: every trace is simulated in both cluster configurations,
+//!   and the ground-truth label `y_{t+2}` marks whether low-power IPC
+//!   meets the SLA threshold two intervals ahead (§4.1, Figure 3);
+//! - [`counters`] — the telemetry-information-content pipeline (§6.2):
+//!   low-activity screen, standard-deviation screen, and PF counter
+//!   selection over the 936-stream cross-section;
+//! - [`TrainedAdaptModel`] and the [`zoo`] — the evaluated adaptation
+//!   models: CHARSTAR's expert-counter MLP, SRCH logistic regression on
+//!   counter histograms, and the paper's Best MLP / Best RF (§7);
+//! - [`run_closed_loop`] — the deployed system: telemetry interval →
+//!   firmware inference → cluster gating at `t+2`, with PPW/RSV scoring
+//!   against ground truth;
+//! - [`experiments`] — one driver per table and figure of the paper;
+//! - [`ExperimentConfig`] — the scaled experiment grid (quick vs. full).
+
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod experiments;
+pub mod guardrail;
+pub mod postsilicon;
+pub mod simpoints;
+pub mod zoo;
+
+mod config;
+mod controller;
+mod paired;
+mod sla;
+mod train;
+
+pub use config::ExperimentConfig;
+pub use controller::{record_trace, run_closed_loop, ClosedLoopResult};
+pub use paired::{collect_paired, CorpusTelemetry, TraceTelemetry};
+pub use sla::Sla;
+pub use train::{
+    build_dataset, tune_threshold, Featurizer, ModelKind, TrainedAdaptModel, HORIZON,
+};

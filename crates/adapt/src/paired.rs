@@ -1,0 +1,391 @@
+//! Paired-mode telemetry collection (§4.1, Figure 3).
+//!
+//! Every trace is replayed twice through the cluster simulator — once per
+//! cluster configuration — producing per-interval telemetry, IPC, and
+//! energy for both modes on identical instruction streams. Ground-truth
+//! labels derive from the IPC ratio; features for any counter subset or
+//! coarser granularity derive from the stored base-event rows, so the
+//! expensive simulation runs exactly once per trace.
+
+use crate::config::ExperimentConfig;
+use crate::sla::Sla;
+use psca_cpu::{ClusterSim, CpuConfig, Mode};
+use psca_telemetry::{Event, NUM_EVENTS};
+use psca_trace::{TraceSource, VecTrace};
+use psca_workloads::{hdtr_corpus, spec};
+
+/// Paired per-interval telemetry of one trace.
+#[derive(Debug, Clone)]
+pub struct TraceTelemetry {
+    /// Application (group) id.
+    pub app_id: u32,
+    /// Application name.
+    pub app_name: String,
+    /// Workload (input) id within the application.
+    pub workload: u64,
+    /// Normalized base-event rows per interval, high-performance mode.
+    pub rows_hi: Vec<Vec<f64>>,
+    /// Normalized base-event rows per interval, low-power mode.
+    pub rows_lo: Vec<Vec<f64>>,
+    /// Per-interval IPC in high-performance mode.
+    pub ipc_hi: Vec<f64>,
+    /// Per-interval IPC in low-power mode.
+    pub ipc_lo: Vec<f64>,
+    /// Per-interval cycles in high-performance mode.
+    pub cycles_hi: Vec<u64>,
+    /// Per-interval cycles in low-power mode.
+    pub cycles_lo: Vec<u64>,
+    /// Per-interval energy in high-performance mode.
+    pub energy_hi: Vec<f64>,
+    /// Per-interval energy in low-power mode.
+    pub energy_lo: Vec<f64>,
+    /// Instructions per interval.
+    pub insts: Vec<u64>,
+}
+
+impl TraceTelemetry {
+    /// Number of intervals.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the trace produced no intervals.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Ground-truth labels per interval: 1 iff low-power IPC meets the SLA.
+    pub fn labels(&self, sla: &Sla) -> Vec<u8> {
+        self.ipc_hi
+            .iter()
+            .zip(&self.ipc_lo)
+            .map(|(&h, &l)| sla.label(h, l))
+            .collect()
+    }
+
+    /// Fraction of intervals that could ideally run gated (Figure 7).
+    pub fn ideal_residency(&self, sla: &Sla) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let labels = self.labels(sla);
+        labels.iter().map(|&y| y as u32).sum::<u32>() as f64 / labels.len() as f64
+    }
+
+    /// Re-aggregates to a coarser granularity of `g` base intervals
+    /// ("we simply sum over successive intervals and re-normalize", §4.1).
+    ///
+    /// # Panics
+    /// Panics if `g == 0`.
+    pub fn aggregate(&self, g: usize) -> TraceTelemetry {
+        assert!(g >= 1, "granularity must be positive");
+        if g == 1 {
+            return self.clone();
+        }
+        let mut out = TraceTelemetry {
+            app_id: self.app_id,
+            app_name: self.app_name.clone(),
+            workload: self.workload,
+            rows_hi: Vec::new(),
+            rows_lo: Vec::new(),
+            ipc_hi: Vec::new(),
+            ipc_lo: Vec::new(),
+            cycles_hi: Vec::new(),
+            cycles_lo: Vec::new(),
+            energy_hi: Vec::new(),
+            energy_lo: Vec::new(),
+            insts: Vec::new(),
+        };
+        let mut i = 0;
+        while i + g <= self.len() {
+            let span = i..i + g;
+            let cyc_hi: u64 = self.cycles_hi[span.clone()].iter().sum();
+            let cyc_lo: u64 = self.cycles_lo[span.clone()].iter().sum();
+            let insts: u64 = self.insts[span.clone()].iter().sum();
+            let agg = |rows: &[Vec<f64>], cycles: &[u64], total: u64| -> Vec<f64> {
+                let mut acc = vec![0.0; NUM_EVENTS];
+                for (row, &c) in rows[span.clone()].iter().zip(&cycles[span.clone()]) {
+                    for (a, v) in acc.iter_mut().zip(row) {
+                        *a += v * c as f64;
+                    }
+                }
+                for a in acc.iter_mut() {
+                    *a /= total.max(1) as f64;
+                }
+                acc
+            };
+            out.rows_hi.push(agg(&self.rows_hi, &self.cycles_hi, cyc_hi));
+            out.rows_lo.push(agg(&self.rows_lo, &self.cycles_lo, cyc_lo));
+            out.ipc_hi.push(insts as f64 / cyc_hi.max(1) as f64);
+            out.ipc_lo.push(insts as f64 / cyc_lo.max(1) as f64);
+            out.cycles_hi.push(cyc_hi);
+            out.cycles_lo.push(cyc_lo);
+            out.energy_hi
+                .push(self.energy_hi[span.clone()].iter().sum());
+            out.energy_lo
+                .push(self.energy_lo[span.clone()].iter().sum());
+            out.insts.push(insts);
+            i += g;
+        }
+        out
+    }
+
+    /// Projects one interval's row (by mode) onto a counter subset.
+    pub fn features(&self, mode: Mode, t: usize, events: &[Event]) -> Vec<f64> {
+        let row = match mode {
+            Mode::HighPerf => &self.rows_hi[t],
+            Mode::LowPower => &self.rows_lo[t],
+        };
+        events.iter().map(|e| row[e.index()]).collect()
+    }
+}
+
+/// Simulates a recorded trace in both modes and collects telemetry.
+///
+/// `warmup_insts` are executed first with telemetry discarded (caches and
+/// predictors warm, as in §4.1).
+pub fn collect_paired<S: TraceSource>(
+    source: &mut S,
+    warmup_insts: u64,
+    intervals: usize,
+    interval_insts: u64,
+    app_id: u32,
+    app_name: &str,
+    workload: u64,
+) -> TraceTelemetry {
+    let warm = VecTrace::record(source, warmup_insts);
+    let window = VecTrace::record(source, intervals as u64 * interval_insts);
+    let mut out = TraceTelemetry {
+        app_id,
+        app_name: app_name.to_string(),
+        workload,
+        rows_hi: Vec::with_capacity(intervals),
+        rows_lo: Vec::with_capacity(intervals),
+        ipc_hi: Vec::with_capacity(intervals),
+        ipc_lo: Vec::with_capacity(intervals),
+        cycles_hi: Vec::with_capacity(intervals),
+        cycles_lo: Vec::with_capacity(intervals),
+        energy_hi: Vec::with_capacity(intervals),
+        energy_lo: Vec::with_capacity(intervals),
+        insts: Vec::with_capacity(intervals),
+    };
+    for mode in [Mode::HighPerf, Mode::LowPower] {
+        let mut sim = ClusterSim::new(CpuConfig::skylake_scaled());
+        sim.set_mode(mode);
+        let mut warm_replay = warm.clone();
+        sim.warm_up(&mut warm_replay, warmup_insts);
+        let mut window_replay = window.clone();
+        let mut n = 0usize;
+        while n < intervals {
+            let Some(r) = sim.run_interval(&mut window_replay, interval_insts) else {
+                break;
+            };
+            match mode {
+                Mode::HighPerf => {
+                    out.rows_hi.push(r.snapshot.as_slice().to_vec());
+                    out.ipc_hi.push(r.ipc());
+                    out.cycles_hi.push(r.snapshot.cycles);
+                    out.energy_hi.push(r.energy);
+                    out.insts.push(r.instructions);
+                }
+                Mode::LowPower => {
+                    out.rows_lo.push(r.snapshot.as_slice().to_vec());
+                    out.ipc_lo.push(r.ipc());
+                    out.cycles_lo.push(r.snapshot.cycles);
+                    out.energy_lo.push(r.energy);
+                }
+            }
+            n += 1;
+        }
+    }
+    // Both passes replayed identical instructions, so lengths match.
+    debug_assert_eq!(out.rows_hi.len(), out.rows_lo.len());
+    out
+}
+
+/// A collection of paired traces — the in-memory form of a telemetry
+/// dataset (HDTR or the SPEC test set).
+#[derive(Debug, Clone, Default)]
+pub struct CorpusTelemetry {
+    /// Per-trace telemetry.
+    pub traces: Vec<TraceTelemetry>,
+}
+
+impl CorpusTelemetry {
+    /// Total intervals across traces.
+    pub fn total_intervals(&self) -> usize {
+        self.traces.iter().map(|t| t.len()).sum()
+    }
+
+    /// Distinct application ids.
+    pub fn app_ids(&self) -> Vec<u32> {
+        let mut seen = std::collections::HashSet::new();
+        self.traces
+            .iter()
+            .filter(|t| seen.insert(t.app_id))
+            .map(|t| t.app_id)
+            .collect()
+    }
+
+    /// Keeps only traces of the given applications.
+    pub fn filter_apps(&self, apps: &[u32]) -> CorpusTelemetry {
+        let set: std::collections::HashSet<u32> = apps.iter().copied().collect();
+        CorpusTelemetry {
+            traces: self
+                .traces
+                .iter()
+                .filter(|t| set.contains(&t.app_id))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Synthesizes and simulates the HDTR training corpus.
+    pub fn hdtr(cfg: &ExperimentConfig) -> CorpusTelemetry {
+        let corpus = hdtr_corpus(cfg.sub_seed("hdtr"), cfg.hdtr_apps, cfg.hdtr_phase_len);
+        let mut traces = Vec::new();
+        for (app_id, entry) in corpus.iter().enumerate() {
+            for &input in entry.inputs.iter().take(cfg.hdtr_traces_per_app) {
+                let mut src = entry.app.trace(input);
+                traces.push(collect_paired(
+                    &mut src,
+                    cfg.hdtr_warmup_insts,
+                    cfg.hdtr_intervals_per_trace,
+                    cfg.interval_insts,
+                    app_id as u32,
+                    entry.app.name(),
+                    input,
+                ));
+            }
+        }
+        CorpusTelemetry { traces }
+    }
+
+    /// Synthesizes and simulates the SPEC2017-like test set. Application
+    /// ids index into [`spec::SPEC_BENCHMARKS`].
+    ///
+    /// SimPoints are chosen by basic-block-vector clustering over each
+    /// workload (§4.1 / [`crate::simpoints`]): the workload is scanned
+    /// once at instruction level, its intervals clustered by BBV, and the
+    /// representative of each cluster simulated in detail.
+    pub fn spec(cfg: &ExperimentConfig) -> CorpusTelemetry {
+        let suite = spec::spec_suite(cfg.sub_seed("spec"), cfg.spec_phase_len);
+        let mut traces = Vec::new();
+        for (bench_id, app) in suite.iter().enumerate() {
+            for wl in &app.workloads {
+                let n_simpoints = wl.simpoints.min(cfg.spec_max_simpoints_per_workload);
+                // Scan a region several times larger than what will be
+                // simulated, then pick representatives.
+                let scan = (cfg.spec_intervals_per_simpoint * n_simpoints * 3).max(8);
+                let mut scan_src = app.app.trace(wl.input);
+                let points = crate::simpoints::select_simpoints(
+                    &mut scan_src,
+                    cfg.interval_insts,
+                    scan,
+                    n_simpoints,
+                    cfg.sub_seed("simpoints") ^ (bench_id as u64) << 8 ^ wl.input,
+                );
+                for p in points {
+                    let mut src = app.app.trace(wl.input);
+                    // Fast-forward to the representative region.
+                    let skip = p.start_interval as u64 * cfg.interval_insts;
+                    for _ in 0..skip.saturating_sub(cfg.spec_warmup_insts) {
+                        if src.next_instruction().is_none() {
+                            break;
+                        }
+                    }
+                    traces.push(collect_paired(
+                        &mut src,
+                        cfg.spec_warmup_insts,
+                        cfg.spec_intervals_per_simpoint,
+                        cfg.interval_insts,
+                        bench_id as u32,
+                        app.bench.name,
+                        wl.input,
+                    ));
+                }
+            }
+        }
+        CorpusTelemetry { traces }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psca_workloads::{Archetype, PhaseGenerator};
+
+    fn quick_trace(a: Archetype, intervals: usize) -> TraceTelemetry {
+        let mut gen = PhaseGenerator::new(a.center(), 3);
+        collect_paired(&mut gen, 4_000, intervals, 2_000, 0, "test", 1)
+    }
+
+    #[test]
+    fn paired_lengths_match() {
+        let t = quick_trace(Archetype::Balanced, 10);
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.rows_hi.len(), t.rows_lo.len());
+        assert_eq!(t.ipc_hi.len(), 10);
+        assert_eq!(t.insts.iter().sum::<u64>(), 20_000);
+    }
+
+    #[test]
+    fn low_power_ipc_never_much_above_high_perf() {
+        let t = quick_trace(Archetype::ScalarIlp, 12);
+        for (h, l) in t.ipc_hi.iter().zip(&t.ipc_lo) {
+            assert!(l <= &(h * 1.15), "lo {l} vs hi {h}");
+        }
+    }
+
+    #[test]
+    fn labels_separate_wide_from_serial() {
+        let sla = Sla::paper_default();
+        let wide = quick_trace(Archetype::ScalarIlp, 12);
+        let serial = quick_trace(Archetype::DepChain, 12);
+        assert!(wide.ideal_residency(&sla) < 0.5, "wide should not gate");
+        assert!(serial.ideal_residency(&sla) > 0.5, "serial should gate");
+    }
+
+    #[test]
+    fn aggregate_preserves_totals() {
+        let t = quick_trace(Archetype::Balanced, 12);
+        let a = t.aggregate(3);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.insts.iter().sum::<u64>(), t.insts.iter().sum::<u64>());
+        assert_eq!(a.cycles_hi.iter().sum::<u64>(), t.cycles_hi.iter().sum::<u64>());
+        let e_orig: f64 = t.energy_lo.iter().sum();
+        let e_agg: f64 = a.energy_lo.iter().sum();
+        assert!((e_orig - e_agg).abs() < 1e-6);
+    }
+
+    #[test]
+    fn aggregated_ipc_is_cycle_weighted() {
+        let t = quick_trace(Archetype::Branchy, 8);
+        let a = t.aggregate(8);
+        let total_i: u64 = t.insts.iter().sum();
+        let total_c: u64 = t.cycles_hi.iter().sum();
+        assert!((a.ipc_hi[0] - total_i as f64 / total_c as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn features_project_named_events() {
+        let t = quick_trace(Archetype::Balanced, 4);
+        let f = t.features(Mode::HighPerf, 0, &[Event::InstRetired, Event::LoadsRetired]);
+        assert_eq!(f.len(), 2);
+        assert!((f[0] - t.ipc_hi[0]).abs() < 1e-9, "InstRetired/cycle is IPC");
+    }
+
+    #[test]
+    fn corpus_builders_produce_data() {
+        let mut cfg = crate::ExperimentConfig::quick();
+        cfg.hdtr_apps = 4;
+        cfg.hdtr_traces_per_app = 1;
+        cfg.hdtr_intervals_per_trace = 4;
+        let hdtr = CorpusTelemetry::hdtr(&cfg);
+        assert_eq!(hdtr.traces.len(), 4);
+        assert_eq!(hdtr.app_ids().len(), 4);
+        assert!(hdtr.total_intervals() > 0);
+        let filtered = hdtr.filter_apps(&[0, 1]);
+        assert_eq!(filtered.traces.len(), 2);
+    }
+}

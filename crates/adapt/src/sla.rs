@@ -1,0 +1,122 @@
+//! Service-level-agreement formalization (§3.1).
+
+/// A performance SLA between the CPU vendor and a customer.
+///
+/// The low-power mode must achieve at least `p_sla` of the
+/// high-performance mode's IPC, measured over windows of `t_sla_insts`
+/// instructions, with at most `1 - guarantee` of windows in violation.
+///
+/// The paper's default: `P_SLA = 90%`, `T_SLA = 1 ms` (16M instructions at
+/// the CPU's 16 GIPS peak), guaranteed to 99%. Scaled experiment configs
+/// shrink `t_sla_insts` proportionally to the shortened traces.
+///
+/// # Examples
+///
+/// ```
+/// use psca_adapt::Sla;
+///
+/// let sla = Sla::paper_default();
+/// assert_eq!(sla.p_sla, 0.90);
+/// // W = 16M instructions / 10k per prediction = 1600 predictions (§4.2).
+/// assert_eq!(sla.violation_window(10_000), 1600);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sla {
+    /// Minimum low-power IPC as a fraction of high-performance IPC.
+    pub p_sla: f64,
+    /// SLA measurement window in instructions (T_SLA × peak throughput).
+    pub t_sla_insts: u64,
+    /// Fraction of windows that must meet the threshold (e.g. 0.99).
+    pub guarantee: f64,
+}
+
+impl Sla {
+    /// The paper's deployment SLA: 90% performance over 1 ms windows
+    /// (16M instructions), guaranteed to 99%.
+    pub fn paper_default() -> Sla {
+        Sla {
+            p_sla: 0.90,
+            t_sla_insts: 16_000_000,
+            guarantee: 0.99,
+        }
+    }
+
+    /// A copy with a different performance threshold (post-silicon SLA
+    /// re-targeting, §7.3 / Table 5).
+    pub fn with_p_sla(self, p_sla: f64) -> Sla {
+        assert!((0.0..=1.0).contains(&p_sla), "P_SLA must be in [0, 1]");
+        Sla { p_sla, ..self }
+    }
+
+    /// A copy with a scaled measurement window (for scaled experiments).
+    pub fn with_t_sla_insts(self, t_sla_insts: u64) -> Sla {
+        assert!(t_sla_insts > 0, "T_SLA must be positive");
+        Sla { t_sla_insts, ..self }
+    }
+
+    /// Ground-truth label: does a low-power interval meet the SLA?
+    ///
+    /// `y = 1` (gate Cluster 2) iff `ipc_lo ≥ p_sla × ipc_hi`.
+    #[inline]
+    pub fn label(&self, ipc_hi: f64, ipc_lo: f64) -> u8 {
+        (ipc_lo >= self.p_sla * ipc_hi) as u8
+    }
+
+    /// The violation-window size `W` in predictions for a prediction
+    /// granularity of `insts_per_prediction` (Eq. 2's `W = R·T_SLA·L`
+    /// with `R·T_SLA` expressed as instructions).
+    ///
+    /// # Panics
+    /// Panics if `insts_per_prediction == 0`.
+    pub fn violation_window(&self, insts_per_prediction: u64) -> usize {
+        assert!(insts_per_prediction > 0, "granularity must be positive");
+        (self.t_sla_insts / insts_per_prediction).max(1) as usize
+    }
+}
+
+impl Default for Sla {
+    fn default() -> Sla {
+        Sla::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_window_sizes() {
+        let sla = Sla::paper_default();
+        assert_eq!(sla.violation_window(10_000), 1600);
+        assert_eq!(sla.violation_window(40_000), 400);
+        assert_eq!(sla.violation_window(100_000), 160);
+    }
+
+    #[test]
+    fn labels_follow_threshold() {
+        let sla = Sla::paper_default();
+        assert_eq!(sla.label(2.0, 1.9), 1);
+        assert_eq!(sla.label(2.0, 1.8), 1); // exactly 90%
+        assert_eq!(sla.label(2.0, 1.7), 0);
+    }
+
+    #[test]
+    fn retargeting_changes_labels() {
+        let strict = Sla::paper_default();
+        let loose = strict.with_p_sla(0.70);
+        assert_eq!(strict.label(2.0, 1.5), 0);
+        assert_eq!(loose.label(2.0, 1.5), 1);
+    }
+
+    #[test]
+    fn window_never_zero() {
+        let sla = Sla::paper_default().with_t_sla_insts(100);
+        assert_eq!(sla.violation_window(10_000), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "P_SLA must be in")]
+    fn bad_p_sla_rejected() {
+        let _ = Sla::paper_default().with_p_sla(1.5);
+    }
+}

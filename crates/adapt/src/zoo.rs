@@ -1,0 +1,348 @@
+//! The adaptation-model zoo: every model evaluated in §7, trained through
+//! the same pipeline the paper describes.
+
+use crate::config::ExperimentConfig;
+use crate::counters::{CHARSTAR_COUNTERS, SRCH_COUNTERS, TABLE4_COUNTERS};
+use crate::paired::CorpusTelemetry;
+use crate::train::{
+    build_dataset, build_hist_windows, featurize_windows, fit_histogram_featurizer,
+    fit_standard_featurizer, tune_threshold, violation_window, Featurizer, ModelKind,
+    TrainedAdaptModel, THRESHOLD_TARGET_RSV,
+};
+use psca_cpu::Mode;
+use psca_ml::{
+    Dataset, LogisticRegression, Mlp, MlpConfig, RandomForest, RandomForestConfig,
+};
+use psca_telemetry::Event;
+use psca_uc::{ops_budget, CpuSpec, FirmwareModel, McuSpec};
+
+/// Prediction granularities in base (10k-equivalent) intervals, from the
+/// §7 budget analysis: CHARSTAR at 20k, SRCH and Best RF at 40k, Best MLP
+/// at 50k.
+pub fn granularity_intervals(kind: ModelKind, cfg: &ExperimentConfig) -> usize {
+    match kind {
+        ModelKind::Charstar => 2,
+        ModelKind::SrchFine => 4,
+        ModelKind::SrchCoarse => cfg.srch_coarse_intervals,
+        ModelKind::BestRf => 4,
+        ModelKind::BestMlp => 5,
+    }
+}
+
+/// The counter set each model reads.
+pub fn counter_set(kind: ModelKind) -> Vec<Event> {
+    match kind {
+        ModelKind::Charstar => CHARSTAR_COUNTERS.to_vec(),
+        ModelKind::SrchFine | ModelKind::SrchCoarse => SRCH_COUNTERS.to_vec(),
+        ModelKind::BestRf | ModelKind::BestMlp => TABLE4_COUNTERS.to_vec(),
+    }
+}
+
+/// Trains one adaptation model (both mode predictors) on a training
+/// corpus, tuning each predictor's sensitivity to keep tuning-set RSV at
+/// or below 1% (§6.3).
+pub fn train(kind: ModelKind, corpus: &CorpusTelemetry, cfg: &ExperimentConfig) -> TrainedAdaptModel {
+    let events = counter_set(kind);
+    // A model must see at least HORIZON+1 prediction windows per trace to
+    // have any training samples; clamp coarse granularities accordingly
+    // (relevant when scaled traces are shorter than SRCH's original
+    // 10M-instruction interval).
+    let max_g = corpus
+        .traces
+        .iter()
+        .map(|t| t.len())
+        .min()
+        .unwrap_or(3)
+        / (crate::train::HORIZON + 1);
+    let g = granularity_intervals(kind, cfg).clamp(1, max_g.max(1));
+    let w = violation_window(cfg, g);
+    let mut per_mode = Vec::with_capacity(2);
+    for mode in [Mode::HighPerf, Mode::LowPower] {
+        per_mode.push(train_mode(kind, corpus, cfg, mode, &events, g, w));
+    }
+    let (feat_lo, fw_lo) = per_mode.pop().unwrap();
+    let (feat_hi, fw_hi) = per_mode.pop().unwrap();
+    let ops = fw_input_dim(&feat_hi)
+        .map(|d| fw_hi.ops_per_prediction(d))
+        .unwrap_or(0);
+    TrainedAdaptModel {
+        kind,
+        feat_hi,
+        feat_lo,
+        fw_hi,
+        fw_lo,
+        granularity: g,
+        ops_per_prediction: ops,
+    }
+}
+
+fn fw_input_dim(feat: &Featurizer) -> Option<usize> {
+    match feat {
+        Featurizer::Standard { events, .. } => Some(events.len()),
+        Featurizer::Histogram { featurizer, .. } => Some(featurizer.feature_dim()),
+    }
+}
+
+fn train_mode(
+    kind: ModelKind,
+    corpus: &CorpusTelemetry,
+    cfg: &ExperimentConfig,
+    mode: Mode,
+    events: &[Event],
+    g: usize,
+    w: usize,
+) -> (Featurizer, FirmwareModel) {
+    match kind {
+        ModelKind::SrchFine | ModelKind::SrchCoarse => {
+            let (windows, _, _) = build_hist_windows(corpus, mode, events, g, &cfg.training_sla());
+            let feat = fit_histogram_featurizer(events, &windows);
+            let data = featurize_windows(&feat, corpus, mode, g, &cfg.training_sla());
+            let (fit_set, cal_set) = calibration_split(&data, cfg);
+            let lr = LogisticRegression::fit(&fit_set, 1e-4, 150);
+            let mut fw = FirmwareModel::Logistic(lr);
+            tune_threshold(&mut fw, cal_set.features(), cal_set.labels(), w, THRESHOLD_TARGET_RSV);
+            (feat, fw)
+        }
+        _ => {
+            let raw = build_dataset(corpus, mode, events, g, &cfg.training_sla());
+            let feat = fit_standard_featurizer(events, &raw);
+            let data = featurize_windows(&feat, corpus, mode, g, &cfg.training_sla());
+            let (fit_set, cal_set) = calibration_split(&data, cfg);
+            let mut fw = match kind {
+                ModelKind::BestRf => FirmwareModel::Forest(RandomForest::fit(
+                    &RandomForestConfig::best_rf(),
+                    &fit_set,
+                    cfg.sub_seed("rf") ^ mode_tag(mode),
+                )),
+                ModelKind::BestMlp => FirmwareModel::Mlp(Mlp::fit(
+                    &MlpConfig::best_mlp(),
+                    &fit_set,
+                    cfg.sub_seed("mlp") ^ mode_tag(mode),
+                )),
+                ModelKind::Charstar => FirmwareModel::Mlp(Mlp::fit(
+                    &MlpConfig::charstar(),
+                    &fit_set,
+                    cfg.sub_seed("charstar") ^ mode_tag(mode),
+                )),
+                _ => unreachable!(),
+            };
+            tune_threshold(&mut fw, cal_set.features(), cal_set.labels(), w, THRESHOLD_TARGET_RSV);
+            (feat, fw)
+        }
+    }
+}
+
+/// Splits tuning data by application into a fit set and a calibration set
+/// for sensitivity tuning. Tuning the decision threshold on *held-out*
+/// applications is essential for models that can memorize their tuning
+/// samples (forests): their in-sample RSV is always ~0, which would leave
+/// thresholds at their most aggressive setting.
+fn calibration_split(data: &psca_ml::Dataset, cfg: &ExperimentConfig) -> (psca_ml::Dataset, psca_ml::Dataset) {
+    if data.distinct_groups().len() < 3 {
+        // Too few applications to split: calibrate in-sample.
+        return (data.clone(), data.clone());
+    }
+    let folds = psca_ml::crossval::group_folds(data.groups(), 1, 0.2, cfg.sub_seed("calib"));
+    (data.subset(&folds[0].tune), data.subset(&folds[0].validate))
+}
+
+fn mode_tag(mode: Mode) -> u64 {
+    match mode {
+        Mode::HighPerf => 0x1111,
+        Mode::LowPower => 0x2222,
+    }
+}
+
+/// Trains a model with explicit hyperparameters and counters (used by the
+/// hyperparameter screen of Figure 6 and the ablation of Figure 10).
+pub fn train_custom_mlp(
+    corpus: &CorpusTelemetry,
+    cfg: &ExperimentConfig,
+    events: &[Event],
+    hidden: &[usize],
+    g: usize,
+    seed: u64,
+) -> TrainedAdaptModel {
+    let w = violation_window(cfg, g);
+    let mlp_cfg = MlpConfig {
+        hidden: hidden.to_vec(),
+        ..MlpConfig::default()
+    };
+    let mut per_mode = Vec::with_capacity(2);
+    for mode in [Mode::HighPerf, Mode::LowPower] {
+        let raw = build_dataset(corpus, mode, events, g, &cfg.training_sla());
+        let feat = fit_standard_featurizer(events, &raw);
+        let data = featurize_windows(&feat, corpus, mode, g, &cfg.training_sla());
+        let mut fw = FirmwareModel::Mlp(Mlp::fit(&mlp_cfg, &data, seed ^ mode_tag(mode)));
+        tune_threshold(&mut fw, data.features(), data.labels(), w, THRESHOLD_TARGET_RSV);
+        per_mode.push((feat, fw));
+    }
+    let (feat_lo, fw_lo) = per_mode.pop().unwrap();
+    let (feat_hi, fw_hi) = per_mode.pop().unwrap();
+    let ops = fw_hi.ops_per_prediction(events.len());
+    TrainedAdaptModel {
+        kind: ModelKind::BestMlp,
+        feat_hi,
+        feat_lo,
+        fw_hi,
+        fw_lo,
+        granularity: g,
+        ops_per_prediction: ops,
+    }
+}
+
+/// Trains a Best-RF-style model on a pre-built dataset pair (used by the
+/// application-specific retraining of §7.3, where tuning sets are custom).
+pub fn train_rf_from_datasets(
+    rf_cfg: &RandomForestConfig,
+    data_hi: &Dataset,
+    data_lo: &Dataset,
+    feat_hi: Featurizer,
+    feat_lo: Featurizer,
+    g: usize,
+    w: usize,
+    seed: u64,
+) -> TrainedAdaptModel {
+    let mut fw_hi = FirmwareModel::Forest(RandomForest::fit(rf_cfg, data_hi, seed ^ 0x1111));
+    tune_threshold(&mut fw_hi, data_hi.features(), data_hi.labels(), w, THRESHOLD_TARGET_RSV);
+    let mut fw_lo = FirmwareModel::Forest(RandomForest::fit(rf_cfg, data_lo, seed ^ 0x2222));
+    tune_threshold(&mut fw_lo, data_lo.features(), data_lo.labels(), w, THRESHOLD_TARGET_RSV);
+    let ops = fw_hi.ops_per_prediction(data_hi.dim());
+    TrainedAdaptModel {
+        kind: ModelKind::BestRf,
+        feat_hi,
+        feat_lo,
+        fw_hi,
+        fw_lo,
+        granularity: g,
+        ops_per_prediction: ops,
+    }
+}
+
+/// Trains one half-forest on a corpus in an existing feature space (the
+/// building block of §7.3's application-specific combination).
+pub fn train_rf_half(
+    cfg: &ExperimentConfig,
+    corpus: &CorpusTelemetry,
+    feat: &Featurizer,
+    mode: Mode,
+    g: usize,
+    rf_cfg: &RandomForestConfig,
+    seed: u64,
+) -> RandomForest {
+    let data = featurize_windows(feat, corpus, mode, g, &cfg.training_sla());
+    RandomForest::fit(rf_cfg, &data, cfg.sub_seed("rf-half") ^ seed)
+}
+
+/// Checks a model against the Table 3 budget at its granularity, using
+/// the paper's CPU/µC specs (granularity expressed in paper-equivalent
+/// instructions: `g × 10k`).
+pub fn fits_budget(model: &TrainedAdaptModel) -> bool {
+    let row = ops_budget(
+        &CpuSpec::paper(),
+        &McuSpec::paper(),
+        model.granularity as u64 * 10_000,
+    );
+    model.ops_per_prediction <= row.budget
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psca_workloads::{Archetype, PhaseGenerator};
+
+    fn tiny_corpus() -> CorpusTelemetry {
+        let mut traces = Vec::new();
+        let kinds = [
+            Archetype::DepChain,
+            Archetype::ScalarIlp,
+            Archetype::MemBound,
+            Archetype::Balanced,
+        ];
+        for (i, a) in kinds.iter().enumerate() {
+            let mut gen = PhaseGenerator::new(a.center(), i as u64 + 10);
+            traces.push(crate::collect_paired(
+                &mut gen, 2_000, 20, 2_000, i as u32, "t", 1,
+            ));
+        }
+        CorpusTelemetry { traces }
+    }
+
+    #[test]
+    fn all_zoo_models_train_and_predict() {
+        let corpus = tiny_corpus();
+        let cfg = ExperimentConfig::quick();
+        for kind in [
+            ModelKind::BestRf,
+            ModelKind::Charstar,
+            ModelKind::SrchFine,
+        ] {
+            let model = train(kind, &corpus, &cfg);
+            assert_eq!(model.kind, kind);
+            assert!(model.ops_per_prediction > 0);
+            let trace = &corpus.traces[0];
+            let g = model.granularity;
+            let decision = model.predict(
+                Mode::HighPerf,
+                &trace.rows_hi[0..g],
+                &trace.cycles_hi[0..g],
+            );
+            let _ = decision;
+        }
+    }
+
+    #[test]
+    fn best_rf_learns_the_corpus() {
+        let corpus = tiny_corpus();
+        let cfg = ExperimentConfig::quick();
+        let model = train(ModelKind::BestRf, &corpus, &cfg);
+        // On the (training) corpus, gating decisions should track the
+        // gateability of the archetypes: DepChain gates, ScalarIlp not.
+        let g = model.granularity;
+        let dep = &corpus.traces[0];
+        let wide = &corpus.traces[1];
+        let count_gates = |t: &crate::TraceTelemetry| {
+            let n = t.len() / g;
+            (0..n)
+                .filter(|&k| {
+                    model.predict(
+                        Mode::LowPower,
+                        &t.rows_lo[k * g..(k + 1) * g],
+                        &t.cycles_lo[k * g..(k + 1) * g],
+                    )
+                })
+                .count() as f64
+                / n as f64
+        };
+        let dep_rate = count_gates(dep);
+        let wide_rate = count_gates(wide);
+        assert!(
+            dep_rate > wide_rate,
+            "DepChain gate rate {dep_rate} should exceed ScalarIlp {wide_rate}"
+        );
+    }
+
+    #[test]
+    fn paper_models_fit_their_budgets() {
+        let corpus = tiny_corpus();
+        let cfg = ExperimentConfig::quick();
+        for kind in [ModelKind::BestRf, ModelKind::Charstar] {
+            let model = train(kind, &corpus, &cfg);
+            assert!(
+                fits_budget(&model),
+                "{kind:?}: {} ops exceeds budget at g={}",
+                model.ops_per_prediction,
+                model.granularity
+            );
+        }
+    }
+
+    #[test]
+    fn granularities_match_section7() {
+        let cfg = ExperimentConfig::quick();
+        assert_eq!(granularity_intervals(ModelKind::Charstar, &cfg), 2);
+        assert_eq!(granularity_intervals(ModelKind::BestRf, &cfg), 4);
+        assert_eq!(granularity_intervals(ModelKind::BestMlp, &cfg), 5);
+        assert_eq!(granularity_intervals(ModelKind::SrchFine, &cfg), 4);
+    }
+}

@@ -1,0 +1,60 @@
+//! Firmware inference latency per model class — the host-side analogue of
+//! Table 3's operation counts (relative ordering should match).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psca_ml::{
+    Dataset, LogisticRegression, Matrix, Mlp, MlpConfig, RandomForest, RandomForestConfig,
+};
+use psca_uc::FirmwareModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn training_set(n: usize, d: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(1);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..d).map(|_| rng.gen::<f64>()).collect())
+        .collect();
+    let labels: Vec<u8> = rows
+        .iter()
+        .map(|r| (r.iter().sum::<f64>() > d as f64 / 2.0) as u8)
+        .collect();
+    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    Dataset::new(Matrix::from_rows(&refs), labels, vec![0; n])
+}
+
+fn firmware_inference(c: &mut Criterion) {
+    let data = training_set(600, 12);
+    let x = vec![0.4; 12];
+    let models = [
+        (
+            "best_rf_8x8",
+            FirmwareModel::Forest(RandomForest::fit(&RandomForestConfig::best_rf(), &data, 2)),
+        ),
+        (
+            "best_mlp_8_8_4",
+            FirmwareModel::Mlp(Mlp::fit(&MlpConfig::best_mlp(), &data, 3)),
+        ),
+        (
+            "charstar_mlp_10",
+            FirmwareModel::Mlp(Mlp::fit(&MlpConfig::charstar(), &data, 4)),
+        ),
+        (
+            "logistic",
+            FirmwareModel::Logistic(LogisticRegression::fit(&data, 1e-4, 100)),
+        ),
+    ];
+    let mut group = c.benchmark_group("firmware_inference");
+    for (name, fw) in &models {
+        group.bench_function(*name, |b| {
+            b.iter(|| criterion::black_box(fw.predict(criterion::black_box(&x))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = firmware_inference
+}
+criterion_main!(benches);

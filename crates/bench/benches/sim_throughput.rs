@@ -1,0 +1,49 @@
+//! Simulator throughput: instructions per second through the clustered
+//! core in each mode and for representative archetypes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use psca_cpu::{ClusterSim, CpuConfig, Mode};
+use psca_workloads::{Archetype, PhaseGenerator};
+
+fn sim_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_throughput");
+    const N: u64 = 50_000;
+    group.throughput(Throughput::Elements(N));
+    for archetype in [Archetype::Balanced, Archetype::MemBound, Archetype::ScalarIlp] {
+        for mode in [Mode::HighPerf, Mode::LowPower] {
+            let label = format!("{archetype:?}/{mode}");
+            group.bench_with_input(BenchmarkId::new("run_interval", label), &(), |b, _| {
+                let mut sim = ClusterSim::new(CpuConfig::skylake_scaled());
+                sim.set_mode(mode);
+                let mut gen = PhaseGenerator::new(archetype.center(), 1);
+                sim.warm_up(&mut gen, 20_000);
+                b.iter(|| {
+                    let r = sim.run_interval(&mut gen, N).unwrap();
+                    criterion::black_box(r.ipc())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn mode_switch(c: &mut Criterion) {
+    c.bench_function("mode_switch_roundtrip", |b| {
+        let mut sim = ClusterSim::new(CpuConfig::skylake_scaled());
+        let mut gen = PhaseGenerator::new(Archetype::Balanced.center(), 2);
+        sim.warm_up(&mut gen, 10_000);
+        b.iter(|| {
+            sim.set_mode(Mode::LowPower);
+            let _ = sim.run_interval(&mut gen, 1_000);
+            sim.set_mode(Mode::HighPerf);
+            let _ = sim.run_interval(&mut gen, 1_000);
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = sim_throughput, mode_switch
+}
+criterion_main!(benches);

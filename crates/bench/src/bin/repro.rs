@@ -1,0 +1,172 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro -- all                # everything, full scaled config (release!)
+//! repro -- fig8 fig9          # specific experiments
+//! repro -- table5 --quick     # seconds-scale config for smoke testing
+//! ```
+
+use psca_adapt::experiments::{ablations, fig10, fig4, fig5, fig6, fig7, fig8, fig9};
+use psca_adapt::experiments::{table1, table2, table3, table4, table5, table6};
+use psca_adapt::ExperimentConfig;
+use psca_bench::{Corpora, EXPERIMENTS};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut wanted: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
+        wanted = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    let cfg = if quick {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::full()
+    };
+    eprintln!(
+        "[repro] config: {} (interval {} insts, {} HDTR apps, SLA P={:.2})",
+        if quick { "quick" } else { "full" },
+        cfg.interval_insts,
+        cfg.hdtr_apps,
+        cfg.sla.p_sla
+    );
+    let mut corpora = Corpora::new();
+    for id in &wanted {
+        let t0 = Instant::now();
+        match id.as_str() {
+            "table1" => println!("{}", table1::run(&cfg)),
+            "table2" => println!("{}", table2::run(&cfg)),
+            "table3" => {
+                let hdtr = corpora.hdtr(&cfg).clone();
+                println!("{}", table3::run(&cfg, &hdtr));
+            }
+            "table4" => {
+                let hdtr = corpora.hdtr(&cfg).clone();
+                println!("{}", table4::run(&cfg, &hdtr));
+            }
+            "table5" => {
+                let hdtr = corpora.hdtr(&cfg).clone();
+                let spec = corpora.spec(&cfg).clone();
+                println!("{}", table5::run(&cfg, &hdtr, &spec));
+            }
+            "table6" => {
+                let hdtr = corpora.hdtr(&cfg).clone();
+                let spec = corpora.spec(&cfg).clone();
+                println!("{}", table6::run(&cfg, &hdtr, &spec));
+            }
+            "fig4" => {
+                let hdtr = corpora.hdtr(&cfg).clone();
+                println!("{}", fig4::run(&cfg, &hdtr));
+            }
+            "fig5" => {
+                let hdtr = corpora.hdtr(&cfg).clone();
+                println!("{}", fig5::run(&cfg, &hdtr));
+            }
+            "fig6" => {
+                let hdtr = corpora.hdtr(&cfg).clone();
+                println!("{}", fig6::run(&cfg, &hdtr));
+            }
+            "fig7" => {
+                let spec = corpora.spec(&cfg).clone();
+                let f7 = fig7::run(&cfg, &spec);
+                println!("{f7}");
+                let rows: Vec<(String, f64)> = f7.per_benchmark.clone();
+                println!(
+                    "{}",
+                    psca_bench::chart::bar_chart(
+                        "ideal low-power residency",
+                        &rows,
+                        40,
+                        |v| format!("{:.1}%", 100.0 * v)
+                    )
+                );
+            }
+            "fig8" => {
+                let hdtr = corpora.hdtr(&cfg).clone();
+                let spec = corpora.spec(&cfg).clone();
+                let f8 = fig8::run(&cfg, &hdtr, &spec);
+                println!("{f8}");
+                let ppw: Vec<(String, f64)> = f8
+                    .rows
+                    .iter()
+                    .map(|r| (r.kind.name().to_string(), r.overall.ppw_gain))
+                    .collect();
+                let rsv: Vec<(String, f64)> = f8
+                    .rows
+                    .iter()
+                    .map(|r| (r.kind.name().to_string(), r.overall.rsv))
+                    .collect();
+                println!(
+                    "{}",
+                    psca_bench::chart::bar_chart("PPW gain", &ppw, 40, |v| format!(
+                        "{:.1}%",
+                        100.0 * v
+                    ))
+                );
+                println!(
+                    "{}",
+                    psca_bench::chart::bar_chart("RSV", &rsv, 40, |v| format!(
+                        "{:.2}%",
+                        100.0 * v
+                    ))
+                );
+            }
+            "fig9" => {
+                let hdtr = corpora.hdtr(&cfg).clone();
+                let spec = corpora.spec(&cfg).clone();
+                let f9 = fig9::run(&cfg, &hdtr, &spec);
+                println!("{f9}");
+                let rsv: Vec<(String, f64)> = f9
+                    .rows
+                    .iter()
+                    .map(|r| (r.name.clone(), r.charstar.rsv))
+                    .collect();
+                println!(
+                    "{}",
+                    psca_bench::chart::bar_chart(
+                        "CHARSTAR per-benchmark RSV (the blindspot exhibit)",
+                        &rsv,
+                        40,
+                        |v| format!("{:.1}%", 100.0 * v)
+                    )
+                );
+            }
+            "fig10" => {
+                let hdtr = corpora.hdtr(&cfg).clone();
+                let spec = corpora.spec(&cfg).clone();
+                println!("{}", fig10::run(&cfg, &hdtr, &spec));
+            }
+            "ablate-steering" => println!("{}", ablations::steering(&cfg)),
+            "ablate-width" => println!("{}", ablations::cluster_width(&cfg)),
+            "ablate-dvfs" => {
+                let spec = corpora.spec(&cfg).clone();
+                println!("{}", ablations::dvfs(&cfg, &spec));
+            }
+            "ablate-guardrail" => {
+                let hdtr = corpora.hdtr(&cfg).clone();
+                let spec = corpora.spec(&cfg).clone();
+                println!("{}", ablations::guardrail(&cfg, &hdtr, &spec));
+            }
+            "ablate-horizon" => {
+                let hdtr = corpora.hdtr(&cfg).clone();
+                let points = ablations::horizon(&cfg, &hdtr);
+                println!("{}", ablations::format_points("prediction horizon", &points));
+            }
+            "ablate-normalization" => {
+                let hdtr = corpora.hdtr(&cfg).clone();
+                let points = ablations::normalization(&cfg, &hdtr);
+                println!("{}", ablations::format_points("counter normalization", &points));
+            }
+            other => {
+                eprintln!("[repro] unknown experiment '{other}'. Known: {EXPERIMENTS:?}");
+                std::process::exit(2);
+            }
+        }
+        eprintln!("[repro] {id} done in {:.1}s\n", t0.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,150 @@
+//! Trace tooling: record synthetic workloads to `.pstr` files, inspect
+//! them, and replay them through the cluster simulator — the §3.2
+//! customer-side workflow ("customers can trace new applications they
+//! wish to further optimize on-site; these traces are replayed on real
+//! hardware to generate telemetry and labels for retraining").
+//!
+//! ```text
+//! trace-tool record <out.pstr> --bench 654.roms_s --input 1 --insts 200000
+//! trace-tool stats  <in.pstr>
+//! trace-tool replay <in.pstr> [--low-power]
+//! ```
+
+use psca_cpu::{ClusterSim, CpuConfig, Mode, RunSummary};
+use psca_trace::{file, TraceSource, TraceStats};
+use psca_workloads::spec::spec_suite;
+use psca_workloads::{hdtr_corpus, ApplicationModel, Category};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage:");
+    eprintln!("  trace-tool record <out.pstr> [--bench NAME | --app SEED] [--input N] [--insts N]");
+    eprintln!("  trace-tool stats  <in.pstr>");
+    eprintln!("  trace-tool replay <in.pstr> [--low-power] [--interval N]");
+    ExitCode::from(2)
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "record" => record(&args),
+        "stats" => stats(&args),
+        "replay" => replay(&args),
+        _ => usage(),
+    }
+}
+
+fn record(args: &[String]) -> ExitCode {
+    let Some(path) = args.get(1) else {
+        return usage();
+    };
+    let input: u64 = arg_value(args, "--input")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let insts: u64 = arg_value(args, "--insts")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200_000);
+    let mut source: Box<dyn TraceSource> = if let Some(bench) = arg_value(args, "--bench") {
+        let suite = spec_suite(0x5bec, 200_000);
+        let Some(app) = suite.iter().find(|a| a.bench.name == bench) else {
+            eprintln!(
+                "unknown benchmark '{bench}'; known: {:?}",
+                suite.iter().map(|a| a.bench.name).collect::<Vec<_>>()
+            );
+            return ExitCode::from(2);
+        };
+        Box::new(app.app.trace(input))
+    } else if let Some(seed) = arg_value(args, "--app") {
+        let seed: u64 = seed.parse().unwrap_or(1);
+        let app = ApplicationModel::synth(format!("app-{seed}"), Category::HpcPerf, seed, 100_000);
+        Box::new(app.trace(input))
+    } else {
+        let corpus = hdtr_corpus(1, 1, 100_000);
+        Box::new(corpus[0].app.trace(input))
+    };
+    let out = match File::create(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot create {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut writer = BufWriter::new(out);
+    match file::write_trace(&mut source, insts, &mut writer) {
+        Ok(n) => {
+            println!("recorded {n} instructions to {path}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("record failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn open_trace(path: &str) -> Result<file::TraceFileReader<BufReader<File>>, String> {
+    let f = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    file::TraceFileReader::open(BufReader::new(f)).map_err(|e| e.to_string())
+}
+
+fn stats(args: &[String]) -> ExitCode {
+    let Some(path) = args.get(1) else {
+        return usage();
+    };
+    let mut reader = match open_trace(path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{path}: {} instructions", reader.remaining());
+    let stats = TraceStats::from_source(&mut reader);
+    println!("  memory ops: {:>5.1}%", 100.0 * stats.mem_fraction());
+    println!("  branches:   {:>5.1}%", 100.0 * stats.branch_fraction());
+    println!("  fp/simd:    {:>5.1}%", 100.0 * stats.fp_fraction());
+    println!("  distinct 64B data lines: {}", stats.distinct_lines);
+    if let Some(e) = reader.error() {
+        eprintln!("  warning: trace truncated: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn replay(args: &[String]) -> ExitCode {
+    let Some(path) = args.get(1) else {
+        return usage();
+    };
+    let interval: u64 = arg_value(args, "--interval")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+    let mut reader = match open_trace(path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut sim = ClusterSim::new(CpuConfig::skylake_scaled());
+    if args.iter().any(|a| a == "--low-power") {
+        sim.set_mode(Mode::LowPower);
+    }
+    println!("replaying {path} in {} mode...", sim.mode());
+    let mut summary = RunSummary::new();
+    while let Some(r) = sim.run_interval(&mut reader, interval) {
+        summary.add(&r);
+    }
+    print!("{summary}");
+    ExitCode::SUCCESS
+}

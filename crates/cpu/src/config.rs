@@ -1,0 +1,184 @@
+//! CPU configuration.
+
+/// Instruction steering policy between clusters in high-performance mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SteerPolicy {
+    /// Producer-affinity steering with pressure-based load balancing
+    /// (the design's default).
+    #[default]
+    DependenceAware,
+    /// Strict alternation, ignoring dependences (ablation baseline).
+    RoundRobin,
+}
+
+/// Full parameterization of the clustered core.
+///
+/// The default, [`CpuConfig::skylake_scaled`], models the paper's machine:
+/// two 4-wide out-of-order clusters over a Skylake-like memory hierarchy,
+/// at 2.0 GHz peak 8-wide issue (§5: "CPU: 2.0 GHz, 8-Wide, 16,000 MIPs").
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuConfig {
+    /// Issue width of one cluster.
+    pub cluster_width: u32,
+    /// Number of clusters (the paper's design has 2).
+    pub num_clusters: u32,
+    /// Reorder-buffer capacity (in-flight instruction window).
+    pub rob_size: usize,
+    /// Store-queue capacity.
+    pub store_queue_size: usize,
+    /// Extra cycles for an operand forwarded between clusters.
+    pub inter_cluster_penalty: u64,
+    /// Front-end redirect penalty after a mispredicted branch, cycles.
+    pub mispredict_penalty: u64,
+    /// L1 instruction cache bytes / ways.
+    pub l1i_bytes: usize,
+    /// L1I associativity.
+    pub l1i_ways: usize,
+    /// µop cache bytes / ways (indexed by instruction line).
+    pub uop_cache_bytes: usize,
+    /// µop cache associativity.
+    pub uop_cache_ways: usize,
+    /// L1 data cache bytes.
+    pub l1d_bytes: usize,
+    /// L1D associativity.
+    pub l1d_ways: usize,
+    /// Unified L2 bytes.
+    pub l2_bytes: usize,
+    /// L2 associativity.
+    pub l2_ways: usize,
+    /// Last-level cache bytes.
+    pub llc_bytes: usize,
+    /// LLC associativity.
+    pub llc_ways: usize,
+    /// ITLB entries.
+    pub itlb_entries: usize,
+    /// DTLB entries.
+    pub dtlb_entries: usize,
+    /// Load-to-use latency on an L1D hit.
+    pub l1d_latency: u64,
+    /// Load-to-use latency on an L2 hit.
+    pub l2_latency: u64,
+    /// Load-to-use latency on an LLC hit.
+    pub llc_latency: u64,
+    /// Load-to-use latency on a memory access.
+    pub mem_latency: u64,
+    /// Page-walk penalty on a TLB miss, cycles.
+    pub tlb_miss_penalty: u64,
+    /// Decode bubble when the µop cache misses but L1I hits, cycles.
+    pub decode_bubble: u64,
+    /// gshare index bits.
+    pub gshare_bits: u32,
+    /// BTB index bits.
+    pub btb_bits: u32,
+    /// Retire width (instructions per cycle).
+    pub retire_width: u32,
+    /// Cycles to drain + microcode per transferred register on a
+    /// high-performance → low-power switch (per 4 transfer µops, one
+    /// issue cycle on the surviving cluster).
+    pub transfer_uop_max: u32,
+    /// Steering policy between clusters.
+    pub steer_policy: SteerPolicy,
+    /// Enable the L1D next-line stream prefetcher (idealized: the next
+    /// sequential line is installed on every demand miss). Skylake-class
+    /// cores hide sequential-stream cold misses this way; without it,
+    /// streaming kernels become ROB-bound on compulsory misses.
+    pub stream_prefetcher: bool,
+}
+
+impl CpuConfig {
+    /// The paper's machine: two 4-wide clusters, Skylake-like hierarchy.
+    pub fn skylake_scaled() -> CpuConfig {
+        CpuConfig {
+            cluster_width: 4,
+            num_clusters: 2,
+            rob_size: 224,
+            store_queue_size: 56,
+            inter_cluster_penalty: 2,
+            mispredict_penalty: 14,
+            l1i_bytes: 32 * 1024,
+            l1i_ways: 8,
+            uop_cache_bytes: 8 * 1024,
+            uop_cache_ways: 8,
+            l1d_bytes: 32 * 1024,
+            l1d_ways: 8,
+            l2_bytes: 512 * 1024,
+            l2_ways: 8,
+            llc_bytes: 4 * 1024 * 1024,
+            llc_ways: 16,
+            itlb_entries: 64,
+            dtlb_entries: 64,
+            l1d_latency: 4,
+            l2_latency: 14,
+            llc_latency: 44,
+            mem_latency: 180,
+            tlb_miss_penalty: 30,
+            decode_bubble: 2,
+            gshare_bits: 13,
+            btb_bits: 12,
+            retire_width: 8,
+            transfer_uop_max: 32,
+            steer_policy: SteerPolicy::DependenceAware,
+            stream_prefetcher: true,
+        }
+    }
+
+    /// Total issue width with all clusters active.
+    pub fn total_width(&self) -> u32 {
+        self.cluster_width * self.num_clusters
+    }
+
+    /// Validates the configuration, panicking with a description of the
+    /// first problem found.
+    ///
+    /// # Panics
+    /// Panics if any structural parameter is zero or inconsistent.
+    pub fn validate(&self) {
+        assert!(self.cluster_width >= 1, "cluster width must be positive");
+        assert!(self.num_clusters >= 1, "need at least one cluster");
+        assert!(self.rob_size >= 8, "ROB too small");
+        assert!(self.store_queue_size >= 1, "store queue too small");
+        assert!(self.retire_width >= 1, "retire width must be positive");
+        assert!(
+            self.mem_latency >= self.llc_latency
+                && self.llc_latency >= self.l2_latency
+                && self.l2_latency >= self.l1d_latency,
+            "memory latencies must be monotone"
+        );
+    }
+}
+
+impl Default for CpuConfig {
+    fn default() -> CpuConfig {
+        CpuConfig::skylake_scaled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_papers_machine() {
+        let c = CpuConfig::default();
+        assert_eq!(c.total_width(), 8);
+        assert_eq!(c.cluster_width, 4);
+        assert_eq!(c.num_clusters, 2);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn validate_rejects_inverted_latencies() {
+        let mut c = CpuConfig::default();
+        c.l1d_latency = 100;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn validate_rejects_zero_width() {
+        let mut c = CpuConfig::default();
+        c.cluster_width = 0;
+        c.validate();
+    }
+}

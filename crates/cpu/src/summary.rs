@@ -1,0 +1,202 @@
+//! Run summaries: human-readable aggregates over simulated intervals.
+
+use crate::sim::IntervalResult;
+use psca_telemetry::Event;
+
+/// Aggregate statistics over a sequence of simulated intervals.
+///
+/// # Examples
+///
+/// ```
+/// use psca_cpu::{ClusterSim, CpuConfig, RunSummary};
+/// use psca_workloads::{Archetype, PhaseGenerator};
+///
+/// let mut sim = ClusterSim::new(CpuConfig::skylake_scaled());
+/// let mut gen = PhaseGenerator::new(Archetype::Balanced.center(), 1);
+/// let mut summary = RunSummary::new();
+/// for _ in 0..4 {
+///     summary.add(&sim.run_interval(&mut gen, 5_000).unwrap());
+/// }
+/// assert_eq!(summary.instructions(), 20_000);
+/// assert!(summary.ipc() > 0.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RunSummary {
+    instructions: u64,
+    cycles: u64,
+    energy: f64,
+    intervals: usize,
+    // de-normalized event totals for the rates we report
+    branches: f64,
+    mispredicts: f64,
+    l1d_accesses: f64,
+    l1d_misses: f64,
+    l2_misses: f64,
+    llc_misses: f64,
+    uopc_misses: f64,
+    uopc_accesses: f64,
+}
+
+impl RunSummary {
+    /// Creates an empty summary.
+    pub fn new() -> RunSummary {
+        RunSummary::default()
+    }
+
+    /// Incorporates one interval.
+    pub fn add(&mut self, r: &IntervalResult) {
+        let cyc = r.snapshot.cycles as f64;
+        let c = |e: Event| r.snapshot.get(e) * cyc;
+        self.instructions += r.instructions;
+        self.cycles += r.snapshot.cycles;
+        self.energy += r.energy;
+        self.intervals += 1;
+        self.branches += c(Event::BranchesRetired);
+        self.mispredicts += c(Event::BranchMispredicts);
+        self.l1d_accesses += c(Event::L1dReads) + c(Event::L1dWrites);
+        self.l1d_misses += c(Event::L1dMisses);
+        self.l2_misses += c(Event::L2Misses);
+        self.llc_misses += c(Event::LlcMisses);
+        self.uopc_misses += c(Event::UopCacheMisses);
+        self.uopc_accesses += c(Event::UopCacheMisses) + c(Event::UopCacheHits);
+    }
+
+    /// Total instructions.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Total cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Total energy.
+    pub fn energy(&self) -> f64 {
+        self.energy
+    }
+
+    /// Intervals observed.
+    pub fn intervals(&self) -> usize {
+        self.intervals
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.instructions as f64 / self.cycles.max(1) as f64
+    }
+
+    /// Instructions per energy unit.
+    pub fn ppw(&self) -> f64 {
+        self.instructions as f64 / self.energy.max(f64::MIN_POSITIVE)
+    }
+
+    /// Branch mispredictions per kilo-instruction.
+    pub fn mpki(&self) -> f64 {
+        1_000.0 * self.mispredicts / self.instructions.max(1) as f64
+    }
+
+    /// Branch-direction accuracy.
+    pub fn branch_accuracy(&self) -> f64 {
+        if self.branches == 0.0 {
+            return 1.0;
+        }
+        1.0 - self.mispredicts / self.branches
+    }
+
+    /// L1D hit rate.
+    pub fn l1d_hit_rate(&self) -> f64 {
+        if self.l1d_accesses == 0.0 {
+            return 1.0;
+        }
+        1.0 - self.l1d_misses / self.l1d_accesses
+    }
+
+    /// LLC misses per kilo-instruction.
+    pub fn llc_mpki(&self) -> f64 {
+        1_000.0 * self.llc_misses / self.instructions.max(1) as f64
+    }
+
+    /// µop-cache hit rate.
+    pub fn uop_cache_hit_rate(&self) -> f64 {
+        if self.uopc_accesses == 0.0 {
+            return 1.0;
+        }
+        1.0 - self.uopc_misses / self.uopc_accesses
+    }
+}
+
+impl std::fmt::Display for RunSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} instructions in {} cycles (IPC {:.2}), energy {:.0}",
+            self.instructions,
+            self.cycles,
+            self.ipc(),
+            self.energy
+        )?;
+        writeln!(
+            f,
+            "branch acc {:.1}% ({:.2} MPKI), L1D hit {:.1}%, LLC {:.2} MPKI, uopC hit {:.1}%",
+            100.0 * self.branch_accuracy(),
+            self.mpki(),
+            100.0 * self.l1d_hit_rate(),
+            self.llc_mpki(),
+            100.0 * self.uop_cache_hit_rate()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClusterSim, CpuConfig};
+    use psca_workloads::{Archetype, PhaseGenerator};
+
+    fn summary_of(a: Archetype) -> RunSummary {
+        let mut sim = ClusterSim::new(CpuConfig::skylake_scaled());
+        let mut gen = PhaseGenerator::new(a.center(), 9);
+        sim.warm_up(&mut gen, 10_000);
+        let mut s = RunSummary::new();
+        for _ in 0..4 {
+            s.add(&sim.run_interval(&mut gen, 5_000).unwrap());
+        }
+        s
+    }
+
+    #[test]
+    fn rates_are_bounded_and_sane() {
+        let s = summary_of(Archetype::Balanced);
+        assert_eq!(s.instructions(), 20_000);
+        assert_eq!(s.intervals(), 4);
+        assert!((0.0..=1.0).contains(&s.branch_accuracy()));
+        assert!((0.0..=1.0).contains(&s.l1d_hit_rate()));
+        assert!((0.0..=1.0).contains(&s.uop_cache_hit_rate()));
+        assert!(s.ppw() > 0.0);
+    }
+
+    #[test]
+    fn branchy_code_has_lower_branch_accuracy() {
+        let noisy = summary_of(Archetype::Branchy);
+        let regular = summary_of(Archetype::StreamFpChain);
+        assert!(noisy.branch_accuracy() < regular.branch_accuracy());
+        assert!(noisy.mpki() > regular.mpki());
+    }
+
+    #[test]
+    fn memory_bound_code_misses_more() {
+        let mem = summary_of(Archetype::MemBound);
+        let compute = summary_of(Archetype::ScalarIlp);
+        assert!(mem.llc_mpki() > compute.llc_mpki());
+        assert!(mem.l1d_hit_rate() < compute.l1d_hit_rate());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = summary_of(Archetype::Balanced);
+        let text = s.to_string();
+        assert!(text.contains("IPC"));
+        assert!(text.contains("MPKI"));
+    }
+}

@@ -1,0 +1,115 @@
+//! Fully-associative TLB model with LRU replacement (4-KiB pages).
+
+/// A translation lookaside buffer.
+///
+/// # Examples
+///
+/// ```
+/// use psca_cpu::Tlb;
+///
+/// let mut dtlb = Tlb::new(64);
+/// assert!(!dtlb.access(0x1234_5000));
+/// assert!(dtlb.access(0x1234_5fff)); // same page
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    entries: Vec<u64>,
+    stamps: Vec<u64>,
+    tick: u64,
+}
+
+impl Tlb {
+    /// Creates a TLB with the given number of entries.
+    ///
+    /// # Panics
+    /// Panics if `entries == 0`.
+    pub fn new(entries: usize) -> Tlb {
+        assert!(entries > 0, "TLB needs at least one entry");
+        Tlb {
+            entries: vec![u64::MAX; entries],
+            stamps: vec![0; entries],
+            tick: 0,
+        }
+    }
+
+    /// Translates a virtual byte address; returns `true` on a TLB hit.
+    /// On a miss the page is filled (LRU victim).
+    pub fn access(&mut self, vaddr: u64) -> bool {
+        self.tick += 1;
+        let page = vaddr >> 12;
+        let mut victim = 0;
+        let mut oldest = u64::MAX;
+        for (i, &e) in self.entries.iter().enumerate() {
+            if e == page {
+                self.stamps[i] = self.tick;
+                return true;
+            }
+            if self.stamps[i] < oldest {
+                oldest = self.stamps[i];
+                victim = i;
+            }
+        }
+        self.entries[victim] = page;
+        self.stamps[victim] = self.tick;
+        false
+    }
+
+    /// Invalidates all entries.
+    pub fn flush(&mut self) {
+        self.entries.fill(u64::MAX);
+        self.stamps.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_page_hits() {
+        let mut t = Tlb::new(4);
+        assert!(!t.access(0x1000));
+        assert!(t.access(0x1fff));
+        assert!(!t.access(0x2000));
+    }
+
+    #[test]
+    fn capacity_respected_with_lru() {
+        let mut t = Tlb::new(2);
+        t.access(0x1000); // page 1
+        t.access(0x2000); // page 2
+        t.access(0x1000); // refresh page 1
+        t.access(0x3000); // evicts page 2
+        assert!(t.access(0x1000));
+        assert!(!t.access(0x2000));
+    }
+
+    #[test]
+    fn span_beyond_capacity_thrashes() {
+        let mut t = Tlb::new(16);
+        let mut misses = 0;
+        for round in 0..3u64 {
+            let _ = round;
+            for p in 0..256u64 {
+                if !t.access(p << 12) {
+                    misses += 1;
+                }
+            }
+        }
+        assert!(misses > 600);
+    }
+
+    #[test]
+    fn flush_invalidates() {
+        let mut t = Tlb::new(4);
+        t.access(0x1000);
+        t.flush();
+        assert!(!t.access(0x1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entries_rejected() {
+        let _ = Tlb::new(0);
+    }
+}

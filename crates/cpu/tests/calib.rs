@@ -1,0 +1,19 @@
+use psca_cpu::{ClusterSim, CpuConfig, Mode};
+use psca_workloads::{Archetype, PhaseGenerator};
+
+#[test]
+#[ignore]
+fn ratios() {
+    for a in Archetype::ALL {
+        let ipc = |mode: Mode| {
+            let mut sim = ClusterSim::new(CpuConfig::skylake_scaled());
+            sim.set_mode(mode);
+            let mut gen = PhaseGenerator::new(a.center(), 42);
+            sim.warm_up(&mut gen, 30_000);
+            sim.run_interval(&mut gen, 50_000).unwrap().ipc()
+        };
+        let hi = ipc(Mode::HighPerf);
+        let lo = ipc(Mode::LowPower);
+        println!("{a:?}: hi={hi:.2} lo={lo:.2} ratio={:.3}", lo / hi);
+    }
+}

@@ -1,0 +1,24 @@
+use psca_cpu::{ClusterSim, CpuConfig, Mode};
+use psca_telemetry::Event;
+use psca_workloads::{Archetype, PhaseGenerator};
+
+#[test]
+#[ignore]
+fn diag() {
+    for a in [Archetype::ScalarIlp, Archetype::DepChain, Archetype::StreamFpWide, Archetype::StreamFpChain, Archetype::Balanced] {
+        for mode in [Mode::HighPerf, Mode::LowPower] {
+            let mut sim = ClusterSim::new(CpuConfig::skylake_scaled());
+            sim.set_mode(mode);
+            let mut gen = PhaseGenerator::new(a.center(), 42);
+            sim.warm_up(&mut gen, 20_000);
+            let r = sim.run_interval(&mut gen, 30_000).unwrap();
+            let s = &r.snapshot;
+            println!("{a:?} {mode:?}: ipc={:.2} cyc={} misp/kI={:.2} uopcM/kI={:.2} l1dM/kI={:.2} ready={:.2} dep={:.2} stall={:.2} febub={:.3} icf={:.3}",
+                r.ipc(), s.cycles,
+                s.get(Event::BranchMispredicts)*s.cycles as f64/30.0,
+                s.get(Event::UopCacheMisses)*s.cycles as f64/30.0,
+                s.get(Event::L1dMisses)*s.cycles as f64/30.0,
+                s.get(Event::UopsReady), s.get(Event::UopsStalledOnDep), s.get(Event::StallCount), s.get(Event::FrontEndBubbles), s.get(Event::InterClusterForwards));
+        }
+    }
+}

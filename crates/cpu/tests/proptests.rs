@@ -1,0 +1,99 @@
+//! Property-based tests of simulator invariants.
+
+use proptest::prelude::*;
+use psca_cpu::{Cache, ClusterSim, CpuConfig, Mode, Tlb};
+use psca_telemetry::Event;
+use psca_workloads::{Archetype, PhaseGenerator};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Event-count identities hold for any simulated interval: retired
+    /// instructions equal issued µops (transfers excluded by running a
+    /// single mode), loads+stores equal L1D accesses, hits+misses equal
+    /// accesses at every cache level the interval touched.
+    #[test]
+    fn event_count_identities(arch_idx in 0usize..12, seed in 0u64..100, lo in any::<bool>()) {
+        let a = Archetype::ALL[arch_idx];
+        let mut sim = ClusterSim::new(CpuConfig::skylake_scaled());
+        sim.set_mode(if lo { Mode::LowPower } else { Mode::HighPerf });
+        let mut gen = PhaseGenerator::new(a.center(), seed);
+        let r = sim.run_interval(&mut gen, 8_000).unwrap();
+        let cyc = r.snapshot.cycles as f64;
+        let c = |e: Event| (r.snapshot.get(e) * cyc).round() as i64;
+        prop_assert_eq!(c(Event::InstRetired), 8_000);
+        prop_assert_eq!(c(Event::UopsIssued), c(Event::InstRetired));
+        prop_assert_eq!(
+            c(Event::L1dReads) + c(Event::L1dWrites),
+            c(Event::L1dHits) + c(Event::L1dMisses)
+        );
+        prop_assert_eq!(c(Event::LoadsRetired), c(Event::L1dReads));
+        prop_assert_eq!(c(Event::StoresRetired), c(Event::L1dWrites));
+        prop_assert_eq!(
+            c(Event::UopsReady) + c(Event::UopsStalledOnDep),
+            c(Event::UopsIssued)
+        );
+        prop_assert!(c(Event::BranchMispredicts) <= c(Event::BranchesRetired));
+        prop_assert_eq!(
+            c(Event::Cluster1UopsIssued) + c(Event::Cluster2UopsIssued),
+            c(Event::UopsIssued)
+        );
+        if lo {
+            prop_assert_eq!(c(Event::Cluster2UopsIssued), 0);
+        }
+    }
+
+    /// Cache contents are a function of the access stream: two caches fed
+    /// the same stream agree on every hit/miss.
+    #[test]
+    fn cache_is_deterministic(lines in prop::collection::vec(0u64..5_000, 1..300)) {
+        let mut a = Cache::new(16 * 1024, 4);
+        let mut b = Cache::new(16 * 1024, 4);
+        for &l in &lines {
+            let ra = a.access(l, l % 3 == 0);
+            let rb = b.access(l, l % 3 == 0);
+            prop_assert_eq!(ra.hit, rb.hit);
+            prop_assert_eq!(ra.eviction, rb.eviction);
+        }
+    }
+
+    /// An evicted line was previously inserted, and its set matches.
+    #[test]
+    fn evictions_come_from_the_same_set(lines in prop::collection::vec(0u64..10_000, 1..400)) {
+        let mut c = Cache::new(4096, 4);
+        let sets = c.num_sets() as u64;
+        let mut inserted = std::collections::HashSet::new();
+        for &l in &lines {
+            let out = c.access(l, false);
+            if let Some((victim, _)) = out.eviction {
+                prop_assert!(inserted.contains(&victim), "evicted {victim} never inserted");
+                prop_assert_eq!(victim % sets, l % sets, "cross-set eviction");
+            }
+            inserted.insert(l);
+        }
+    }
+
+    /// TLB determinism mirrors cache determinism.
+    #[test]
+    fn tlb_is_deterministic(addrs in prop::collection::vec(0u64..1u64 << 30, 1..200)) {
+        let mut a = Tlb::new(16);
+        let mut b = Tlb::new(16);
+        for &v in &addrs {
+            prop_assert_eq!(a.access(v), b.access(v));
+        }
+    }
+
+    /// Energy scales monotonically with work: simulating more instructions
+    /// never costs less energy.
+    #[test]
+    fn energy_monotone_in_instructions(seed in 0u64..50) {
+        let run = |n: u64| {
+            let mut sim = ClusterSim::new(CpuConfig::skylake_scaled());
+            let mut gen = PhaseGenerator::new(Archetype::Balanced.center(), seed);
+            sim.run_interval(&mut gen, n).unwrap().energy
+        };
+        let small = run(2_000);
+        let large = run(8_000);
+        prop_assert!(large > small);
+    }
+}

@@ -1,0 +1,118 @@
+//! Archetype telemetry signatures: every workload archetype must light up
+//! the counters its behaviour implies — the cross-substrate check that
+//! generator semantics survive the pipeline model.
+
+use psca_cpu::{ClusterSim, CpuConfig, Mode};
+use psca_telemetry::{Event, IntervalSnapshot};
+use psca_workloads::{Archetype, PhaseGenerator};
+
+fn snapshot(a: Archetype) -> IntervalSnapshot {
+    let mut sim = ClusterSim::new(CpuConfig::skylake_scaled());
+    sim.set_mode(Mode::HighPerf);
+    let mut gen = PhaseGenerator::new(a.center(), 1234);
+    sim.warm_up(&mut gen, 20_000);
+    sim.run_interval(&mut gen, 30_000).unwrap().snapshot
+}
+
+/// Rate of `e` per retired instruction.
+fn per_inst(s: &IntervalSnapshot, e: Event) -> f64 {
+    s.get(e) / s.get(Event::InstRetired).max(1e-12)
+}
+
+fn argmax_archetype(e: Event) -> Archetype {
+    Archetype::ALL
+        .iter()
+        .copied()
+        .max_by(|&a, &b| {
+            let va = per_inst(&snapshot(a), e);
+            let vb = per_inst(&snapshot(b), e);
+            va.partial_cmp(&vb).unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .unwrap()
+}
+
+#[test]
+fn branchy_maximizes_mispredictions() {
+    assert_eq!(argmax_archetype(Event::BranchMispredicts), Archetype::Branchy);
+}
+
+#[test]
+fn icache_heavy_maximizes_instruction_cache_misses() {
+    // The µop-cache miss *rate* saturates at one per fetched line for any
+    // footprint beyond its capacity; the L1I miss rate is what singles out
+    // truly large code footprints.
+    assert_eq!(argmax_archetype(Event::IcacheMisses), Archetype::IcacheHeavy);
+}
+
+#[test]
+fn tlb_thrash_combines_high_tlb_pressure_with_modest_cache_misses() {
+    // Giant random working sets (MemBound) also thrash the TLB; what makes
+    // the TLB-bound archetype distinctive is page pressure *without*
+    // comparable LLC pressure.
+    let tlb = snapshot(Archetype::TlbThrash);
+    let mem = snapshot(Archetype::MemBound);
+    assert!(per_inst(&tlb, Event::DtlbMisses) > 0.2);
+    assert!(per_inst(&tlb, Event::LlcMisses) < 0.5 * per_inst(&mem, Event::LlcMisses));
+}
+
+#[test]
+fn store_heavy_maximizes_store_traffic() {
+    assert_eq!(argmax_archetype(Event::StoresRetired), Archetype::StoreHeavy);
+}
+
+#[test]
+fn memory_bound_archetypes_dominate_llc_misses() {
+    let top = argmax_archetype(Event::LlcMisses);
+    assert!(
+        matches!(top, Archetype::MemBound | Archetype::PointerChase | Archetype::TlbThrash),
+        "LLC misses maximized by {top:?}"
+    );
+}
+
+#[test]
+fn simd_kernel_maximizes_simd_ops() {
+    assert_eq!(argmax_archetype(Event::SimdOps), Archetype::SimdKernel);
+}
+
+#[test]
+fn fp_streams_maximize_fma_traffic() {
+    let top = argmax_archetype(Event::FpFmaOps);
+    assert!(
+        matches!(top, Archetype::StreamFpWide | Archetype::StreamFpChain),
+        "FMA maximized by {top:?}"
+    );
+}
+
+#[test]
+fn wide_archetypes_have_highest_ready_rates() {
+    // Per-cycle µops-ready rate orders the dependence structure.
+    let ready = |a: Archetype| snapshot(a).get(Event::UopsReady);
+    let wide = ready(Archetype::ScalarIlp).max(ready(Archetype::StreamFpWide));
+    let serial = ready(Archetype::DepChain).max(ready(Archetype::StreamFpChain));
+    assert!(
+        wide > 1.5 * serial,
+        "ready-rate separation too weak: wide {wide} vs serial {serial}"
+    );
+}
+
+#[test]
+fn pointer_chase_has_low_mlp() {
+    // Chased loads serialize: long-latency loads per instruction high,
+    // IPC very low.
+    let s = snapshot(Archetype::PointerChase);
+    assert!(s.ipc() < 0.7, "pointer chasing should crawl: IPC {}", s.ipc());
+    assert!(per_inst(&s, Event::LlcMisses) > 0.001);
+}
+
+#[test]
+fn every_archetype_produces_nonzero_core_activity() {
+    for a in Archetype::ALL {
+        let s = snapshot(a);
+        assert!(s.ipc() > 0.01, "{a:?} IPC collapsed");
+        assert!(s.get(Event::UopsIssued) > 0.0, "{a:?} issued nothing");
+        assert!(
+            s.get(Event::PhysRegRefCount) > 0.0,
+            "{a:?} read no registers"
+        );
+    }
+}

@@ -1,0 +1,19 @@
+use psca_cpu::{ClusterSim, CpuConfig};
+use psca_workloads::{Archetype, PhaseGenerator};
+use std::time::Instant;
+
+#[test]
+#[ignore]
+fn throughput() {
+    let mut sim = ClusterSim::new(CpuConfig::skylake_scaled());
+    let mut gen = PhaseGenerator::new(Archetype::Balanced.center(), 1);
+    let t = Instant::now();
+    let n = 2_000_000u64;
+    let mut done = 0;
+    while done < n {
+        let r = sim.run_interval(&mut gen, 10_000).unwrap();
+        done += r.instructions;
+    }
+    let dt = t.elapsed().as_secs_f64();
+    println!("sim throughput: {:.1} M instr/s (debug)", n as f64 / dt / 1e6);
+}

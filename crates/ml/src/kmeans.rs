@@ -1,0 +1,232 @@
+//! k-means clustering (Lloyd's algorithm with k-means++ seeding).
+//!
+//! Used by the SimPoint methodology (`psca-workloads::simpoints`): program
+//! intervals are clustered by basic-block vector, and one representative
+//! per cluster is simulated in detail — exactly how the paper's
+//! 200M-instruction SimPoints are chosen.
+
+use crate::linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// Cluster centroids (rows).
+    pub centroids: Matrix,
+    /// Cluster assignment per input row.
+    pub assignment: Vec<usize>,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Number of samples per cluster.
+    pub sizes: Vec<usize>,
+}
+
+impl KMeans {
+    /// Index of the sample closest to each centroid — the "representative"
+    /// of each cluster (SimPoint selection uses exactly this).
+    pub fn representatives(&self, data: &Matrix) -> Vec<usize> {
+        let k = self.centroids.rows();
+        let mut best: Vec<(f64, usize)> = vec![(f64::INFINITY, usize::MAX); k];
+        for r in 0..data.rows() {
+            let c = self.assignment[r];
+            let d = dist2(data.row(r), self.centroids.row(c));
+            if d < best[c].0 {
+                best[c] = (d, r);
+            }
+        }
+        best.into_iter()
+            .filter(|(_, r)| *r != usize::MAX)
+            .map(|(_, r)| r)
+            .collect()
+    }
+}
+
+#[inline]
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Runs k-means with k-means++ seeding.
+///
+/// `k` is clamped to the number of rows. Runs at most `max_iters` Lloyd
+/// iterations or until assignments stabilize.
+///
+/// # Panics
+/// Panics if `data` has no rows or `k == 0`.
+pub fn kmeans(data: &Matrix, k: usize, max_iters: usize, seed: u64) -> KMeans {
+    assert!(data.rows() > 0, "cannot cluster zero samples");
+    assert!(k >= 1, "need at least one cluster");
+    let k = k.min(data.rows());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let d = data.cols();
+
+    // k-means++ seeding.
+    let mut centroids = Matrix::zeros(k, d);
+    let first = rng.gen_range(0..data.rows());
+    centroids.row_mut(0).copy_from_slice(data.row(first));
+    let mut min_d2: Vec<f64> = (0..data.rows())
+        .map(|r| dist2(data.row(r), centroids.row(0)))
+        .collect();
+    for c in 1..k {
+        let total: f64 = min_d2.iter().sum();
+        let pick = if total <= 0.0 {
+            rng.gen_range(0..data.rows())
+        } else {
+            let mut u = rng.gen::<f64>() * total;
+            let mut chosen = data.rows() - 1;
+            for (r, &w) in min_d2.iter().enumerate() {
+                if u < w {
+                    chosen = r;
+                    break;
+                }
+                u -= w;
+            }
+            chosen
+        };
+        centroids.row_mut(c).copy_from_slice(data.row(pick));
+        for r in 0..data.rows() {
+            let nd = dist2(data.row(r), centroids.row(c));
+            if nd < min_d2[r] {
+                min_d2[r] = nd;
+            }
+        }
+    }
+
+    // Lloyd iterations.
+    let mut assignment = vec![0usize; data.rows()];
+    for _ in 0..max_iters {
+        let mut changed = false;
+        for r in 0..data.rows() {
+            let mut best = (f64::INFINITY, 0usize);
+            for c in 0..k {
+                let dd = dist2(data.row(r), centroids.row(c));
+                if dd < best.0 {
+                    best = (dd, c);
+                }
+            }
+            if assignment[r] != best.1 {
+                assignment[r] = best.1;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        let mut sums = Matrix::zeros(k, d);
+        let mut counts = vec![0usize; k];
+        for r in 0..data.rows() {
+            let c = assignment[r];
+            counts[c] += 1;
+            let row = data.row(r);
+            for (s, &v) in sums.row_mut(c).iter_mut().zip(row) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster at the farthest point.
+                let far = (0..data.rows())
+                    .max_by(|&a, &b| {
+                        let da = dist2(data.row(a), centroids.row(assignment[a]));
+                        let db = dist2(data.row(b), centroids.row(assignment[b]));
+                        da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .unwrap();
+                centroids.row_mut(c).copy_from_slice(data.row(far));
+            } else {
+                for (cv, &s) in centroids.row_mut(c).iter_mut().zip(sums.row(c)) {
+                    *cv = s / counts[c] as f64;
+                }
+            }
+        }
+    }
+    let mut sizes = vec![0usize; k];
+    let mut inertia = 0.0;
+    for r in 0..data.rows() {
+        sizes[assignment[r]] += 1;
+        inertia += dist2(data.row(r), centroids.row(assignment[r]));
+    }
+    KMeans {
+        centroids,
+        assignment,
+        inertia,
+        sizes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Matrix {
+        let mut rows = Vec::new();
+        for i in 0..30 {
+            let j = i as f64 * 0.01;
+            rows.push(vec![0.0 + j, 0.0 + j]);
+            rows.push(vec![10.0 + j, 10.0 + j]);
+            rows.push(vec![0.0 + j, 10.0 - j]);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        Matrix::from_rows(&refs)
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let data = blobs();
+        let km = kmeans(&data, 3, 100, 1);
+        assert_eq!(km.sizes.iter().sum::<usize>(), 90);
+        // Every cluster holds exactly one blob (30 points).
+        let mut sizes = km.sizes.clone();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![30, 30, 30]);
+        // Points of the same blob share a cluster.
+        for i in 0..30 {
+            assert_eq!(km.assignment[3 * i], km.assignment[0]);
+            assert_eq!(km.assignment[3 * i + 1], km.assignment[1]);
+        }
+    }
+
+    #[test]
+    fn representatives_are_members_of_their_cluster() {
+        let data = blobs();
+        let km = kmeans(&data, 3, 100, 2);
+        let reps = km.representatives(&data);
+        assert_eq!(reps.len(), 3);
+        for (c, &r) in reps.iter().enumerate() {
+            assert_eq!(km.assignment[r], c);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = blobs();
+        let a = kmeans(&data, 3, 100, 7);
+        let b = kmeans(&data, 3, 100, 7);
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.inertia, b.inertia);
+    }
+
+    #[test]
+    fn more_clusters_never_increase_inertia() {
+        let data = blobs();
+        let i2 = kmeans(&data, 2, 100, 3).inertia;
+        let i3 = kmeans(&data, 3, 100, 3).inertia;
+        let i6 = kmeans(&data, 6, 100, 3).inertia;
+        assert!(i3 <= i2 + 1e-9);
+        assert!(i6 <= i3 + 1e-9);
+    }
+
+    #[test]
+    fn k_clamped_to_samples() {
+        let data = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        let km = kmeans(&data, 10, 50, 1);
+        assert_eq!(km.centroids.rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn empty_data_rejected() {
+        let _ = kmeans(&Matrix::zeros(0, 2), 2, 10, 1);
+    }
+}

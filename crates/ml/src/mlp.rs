@@ -1,0 +1,417 @@
+//! Multi-layer perceptrons with ReLU activations, trained by
+//! backpropagation with the Adam optimizer (Kingma & Ba), as the paper's
+//! MLP adaptation models are (§5, §7).
+
+use crate::dataset::Dataset;
+use crate::linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// MLP topology and training hyperparameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpConfig {
+    /// Hidden-layer widths ("filters per layer" in the paper's terms).
+    pub hidden: Vec<usize>,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// L2 weight decay.
+    pub weight_decay: f64,
+}
+
+impl MlpConfig {
+    /// The paper's Best MLP topology: 3 layers of 8/8/4 filters (§6.3).
+    pub fn best_mlp() -> MlpConfig {
+        MlpConfig {
+            hidden: vec![8, 8, 4],
+            ..MlpConfig::default()
+        }
+    }
+
+    /// The CHARSTAR baseline topology: 1 layer of 10 filters (§7).
+    pub fn charstar() -> MlpConfig {
+        MlpConfig {
+            hidden: vec![10],
+            ..MlpConfig::default()
+        }
+    }
+}
+
+impl Default for MlpConfig {
+    fn default() -> MlpConfig {
+        MlpConfig {
+            hidden: vec![8, 8, 4],
+            learning_rate: 3e-3,
+            epochs: 30,
+            batch_size: 64,
+            weight_decay: 1e-5,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Layer {
+    /// `out × in` weights.
+    w: Matrix,
+    b: Vec<f64>,
+    // Adam state
+    mw: Matrix,
+    vw: Matrix,
+    mb: Vec<f64>,
+    vb: Vec<f64>,
+}
+
+impl Layer {
+    fn new(input: usize, output: usize, rng: &mut StdRng) -> Layer {
+        let scale = (2.0 / input as f64).sqrt();
+        let mut w = Matrix::zeros(output, input);
+        for r in 0..output {
+            for c in 0..input {
+                w.set(r, c, (rng.gen::<f64>() * 2.0 - 1.0) * scale);
+            }
+        }
+        Layer {
+            mw: Matrix::zeros(output, input),
+            vw: Matrix::zeros(output, input),
+            mb: vec![0.0; output],
+            vb: vec![0.0; output],
+            b: vec![0.0; output],
+            w,
+        }
+    }
+}
+
+/// A binary-classification MLP (sigmoid output head).
+///
+/// # Examples
+///
+/// ```
+/// use psca_ml::{Dataset, Matrix, Mlp, MlpConfig};
+///
+/// // Learn y = x0 > 0.
+/// let rows: Vec<Vec<f64>> = (0..200).map(|i| vec![(i as f64 - 100.0) / 50.0]).collect();
+/// let labels: Vec<u8> = rows.iter().map(|r| (r[0] > 0.0) as u8).collect();
+/// let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+/// let data = Dataset::new(Matrix::from_rows(&refs), labels, vec![0; 200]);
+/// let mlp = Mlp::fit(&MlpConfig::default(), &data, 1);
+/// assert!(mlp.predict_proba(&[1.0]) > 0.5);
+/// assert!(mlp.predict_proba(&[-1.0]) < 0.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Layer>,
+    threshold: f64,
+    adam_t: u64,
+}
+
+impl Mlp {
+    /// Trains an MLP on the dataset.
+    ///
+    /// # Panics
+    /// Panics if the dataset is empty.
+    pub fn fit(cfg: &MlpConfig, data: &Dataset, seed: u64) -> Mlp {
+        assert!(!data.is_empty(), "cannot train on an empty dataset");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut dims = vec![data.dim()];
+        dims.extend_from_slice(&cfg.hidden);
+        dims.push(1);
+        let layers = dims
+            .windows(2)
+            .map(|w| Layer::new(w[0], w[1], &mut rng))
+            .collect();
+        let mut mlp = Mlp {
+            layers,
+            threshold: 0.5,
+            adam_t: 0,
+        };
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        for _ in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(cfg.batch_size) {
+                mlp.train_batch(cfg, data, chunk);
+            }
+        }
+        mlp
+    }
+
+    /// Reconstructs an MLP from layer weights (rows = filters), biases,
+    /// and a decision threshold — the firmware-image deserialization path.
+    ///
+    /// # Panics
+    /// Panics if layer shapes do not chain (layer `i`'s filter count must
+    /// equal layer `i+1`'s input width) or the output layer is not 1-wide.
+    pub fn from_layers(layers: Vec<(Matrix, Vec<f64>)>, threshold: f64) -> Mlp {
+        assert!(!layers.is_empty(), "an MLP needs at least one layer");
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].0.rows(),
+                pair[1].0.cols(),
+                "layer shapes do not chain"
+            );
+        }
+        let last = layers.last().unwrap();
+        assert_eq!(last.0.rows(), 1, "output layer must have one unit");
+        let layers = layers
+            .into_iter()
+            .map(|(w, b)| {
+                assert_eq!(w.rows(), b.len(), "bias arity mismatch");
+                Layer {
+                    mw: Matrix::zeros(w.rows(), w.cols()),
+                    vw: Matrix::zeros(w.rows(), w.cols()),
+                    mb: vec![0.0; b.len()],
+                    vb: vec![0.0; b.len()],
+                    b,
+                    w,
+                }
+            })
+            .collect();
+        Mlp {
+            layers,
+            threshold: threshold.clamp(0.0, 1.0),
+            adam_t: 0,
+        }
+    }
+
+    /// Hidden+output layer count (the paper counts hidden layers).
+    pub fn num_hidden_layers(&self) -> usize {
+        self.layers.len().saturating_sub(1)
+    }
+
+    /// Total trainable parameters.
+    pub fn num_parameters(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.w.rows() * l.w.cols() + l.b.len())
+            .sum()
+    }
+
+    /// Weights of layer `i` (rows = filters).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn layer_weights(&self, i: usize) -> (&Matrix, &[f64]) {
+        (&self.layers[i].w, &self.layers[i].b)
+    }
+
+    /// Number of layers including the output head.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The decision threshold applied by [`Mlp::predict`].
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Adjusts the decision threshold (the paper tunes "sensitivity" to
+    /// keep tuning-set SLA violations below 1%, §6.3).
+    pub fn set_threshold(&mut self, t: f64) {
+        self.threshold = t.clamp(0.0, 1.0);
+    }
+
+    /// Probability that the positive (gate) class is correct.
+    ///
+    /// # Panics
+    /// Panics if `x` has wrong dimensionality.
+    pub fn predict_proba(&self, x: &[f64]) -> f64 {
+        let (acts, _) = self.forward(x);
+        sigmoid(acts.last().unwrap()[0])
+    }
+
+    /// Thresholded prediction.
+    pub fn predict(&self, x: &[f64]) -> bool {
+        self.predict_proba(x) >= self.threshold
+    }
+
+    /// Forward pass returning pre-activations (`z`) and activations.
+    fn forward(&self, x: &[f64]) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let mut zs = Vec::with_capacity(self.layers.len());
+        let mut activations = Vec::with_capacity(self.layers.len() + 1);
+        activations.push(x.to_vec());
+        let mut cur = x.to_vec();
+        for (li, layer) in self.layers.iter().enumerate() {
+            let mut z = layer.w.matvec(&cur);
+            for (zi, bi) in z.iter_mut().zip(&layer.b) {
+                *zi += bi;
+            }
+            let last = li == self.layers.len() - 1;
+            let a: Vec<f64> = if last {
+                z.clone() // linear head; sigmoid applied in the loss
+            } else {
+                z.iter().map(|&v| v.max(0.0)).collect()
+            };
+            zs.push(z);
+            activations.push(a.clone());
+            cur = a;
+        }
+        (zs, activations)
+    }
+
+    fn train_batch(&mut self, cfg: &MlpConfig, data: &Dataset, idx: &[usize]) {
+        let nl = self.layers.len();
+        let mut grads_w: Vec<Matrix> = self
+            .layers
+            .iter()
+            .map(|l| Matrix::zeros(l.w.rows(), l.w.cols()))
+            .collect();
+        let mut grads_b: Vec<Vec<f64>> = self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+        for &i in idx {
+            let (x, y) = data.sample(i);
+            let (zs, acts) = self.forward(x);
+            // BCE with logits: dL/dz_out = sigmoid(z) - y.
+            let mut delta = vec![sigmoid(zs[nl - 1][0]) - y as f64];
+            for li in (0..nl).rev() {
+                let input = &acts[li];
+                for (r, &d) in delta.iter().enumerate() {
+                    grads_b[li][r] += d;
+                    let grow = grads_w[li].row_mut(r);
+                    for (gc, &xin) in grow.iter_mut().zip(input) {
+                        *gc += d * xin;
+                    }
+                }
+                if li > 0 {
+                    let mut next = vec![0.0; self.layers[li].w.cols()];
+                    for (r, &d) in delta.iter().enumerate() {
+                        let wrow = self.layers[li].w.row(r);
+                        for (nv, &w) in next.iter_mut().zip(wrow) {
+                            *nv += d * w;
+                        }
+                    }
+                    // ReLU derivative of the previous layer.
+                    for (nv, &z) in next.iter_mut().zip(&zs[li - 1]) {
+                        if z <= 0.0 {
+                            *nv = 0.0;
+                        }
+                    }
+                    delta = next;
+                }
+            }
+        }
+        // Adam update.
+        self.adam_t += 1;
+        let t = self.adam_t as f64;
+        let (b1, b2, eps): (f64, f64, f64) = (0.9, 0.999, 1e-8);
+        let bc1 = 1.0 - b1.powf(t);
+        let bc2 = 1.0 - b2.powf(t);
+        let scale = 1.0 / idx.len() as f64;
+        for (li, layer) in self.layers.iter_mut().enumerate() {
+            for r in 0..layer.w.rows() {
+                for c in 0..layer.w.cols() {
+                    let g = grads_w[li].get(r, c) * scale + cfg.weight_decay * layer.w.get(r, c);
+                    let m = b1 * layer.mw.get(r, c) + (1.0 - b1) * g;
+                    let v = b2 * layer.vw.get(r, c) + (1.0 - b2) * g * g;
+                    layer.mw.set(r, c, m);
+                    layer.vw.set(r, c, v);
+                    let step = cfg.learning_rate * (m / bc1) / ((v / bc2).sqrt() + eps);
+                    layer.w.set(r, c, layer.w.get(r, c) - step);
+                }
+                let g = grads_b[li][r] * scale;
+                let m = b1 * layer.mb[r] + (1.0 - b1) * g;
+                let v = b2 * layer.vb[r] + (1.0 - b2) * g * g;
+                layer.mb[r] = m;
+                layer.vb[r] = v;
+                layer.b[r] -= cfg.learning_rate * (m / bc1) / ((v / bc2).sqrt() + eps);
+            }
+        }
+    }
+}
+
+#[inline]
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_dataset(n: usize) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let a = rng.gen::<f64>() * 2.0 - 1.0;
+            let b = rng.gen::<f64>() * 2.0 - 1.0;
+            rows.push(vec![a, b]);
+            labels.push(((a > 0.0) != (b > 0.0)) as u8);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        Dataset::new(Matrix::from_rows(&refs), labels, vec![0; n])
+    }
+
+    #[test]
+    fn learns_xor_nonlinear_boundary() {
+        let data = xor_dataset(600);
+        let cfg = MlpConfig {
+            hidden: vec![16, 8],
+            epochs: 120,
+            learning_rate: 5e-3,
+            ..MlpConfig::default()
+        };
+        let mlp = Mlp::fit(&cfg, &data, 3);
+        let acc = (0..data.len())
+            .filter(|&i| {
+                let (x, y) = data.sample(i);
+                mlp.predict(x) == (y == 1)
+            })
+            .count() as f64
+            / data.len() as f64;
+        assert!(acc > 0.9, "XOR accuracy {acc}");
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let data = xor_dataset(100);
+        let a = Mlp::fit(&MlpConfig::default(), &data, 7);
+        let b = Mlp::fit(&MlpConfig::default(), &data, 7);
+        assert_eq!(a.predict_proba(&[0.3, -0.4]), b.predict_proba(&[0.3, -0.4]));
+        let c = Mlp::fit(&MlpConfig::default(), &data, 8);
+        assert_ne!(a.predict_proba(&[0.3, -0.4]), c.predict_proba(&[0.3, -0.4]));
+    }
+
+    #[test]
+    fn parameter_count_matches_topology() {
+        let data = xor_dataset(10);
+        let cfg = MlpConfig {
+            hidden: vec![8, 8, 4],
+            epochs: 1,
+            ..MlpConfig::default()
+        };
+        let mlp = Mlp::fit(&cfg, &data, 1);
+        // 2->8: 24, 8->8: 72, 8->4: 36, 4->1: 5
+        assert_eq!(mlp.num_parameters(), 24 + 72 + 36 + 5);
+        assert_eq!(mlp.num_layers(), 4);
+        assert_eq!(mlp.num_hidden_layers(), 3);
+    }
+
+    #[test]
+    fn threshold_moves_decision() {
+        let data = xor_dataset(200);
+        let mut mlp = Mlp::fit(&MlpConfig::default(), &data, 2);
+        mlp.set_threshold(1.0);
+        assert!(!mlp.predict(&[0.5, -0.5]));
+        mlp.set_threshold(0.0);
+        assert!(mlp.predict(&[0.5, -0.5]));
+    }
+
+    #[test]
+    fn probabilities_are_valid() {
+        let data = xor_dataset(50);
+        let mlp = Mlp::fit(&MlpConfig::default(), &data, 1);
+        for i in 0..data.len() {
+            let p = mlp.predict_proba(data.sample(i).0);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_rejected() {
+        let d = Dataset::new(Matrix::zeros(0, 2), vec![], vec![]);
+        let _ = Mlp::fit(&MlpConfig::default(), &d, 1);
+    }
+}

@@ -1,0 +1,285 @@
+//! Support vector machines: a Pegasos-trained linear SVM (optionally
+//! ensembled, as in Table 3's "5 SVM Ensemble") and a budgeted χ²-kernel
+//! SVM ("χ² Kernel, Max Support Vectors 1,000", Table 3).
+
+use crate::dataset::Dataset;
+use crate::linalg::dot;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A linear SVM trained with the Pegasos stochastic sub-gradient method.
+///
+/// # Examples
+///
+/// ```
+/// use psca_ml::{Dataset, LinearSvm, Matrix};
+///
+/// let x = Matrix::from_rows(&[&[-1.0], &[-2.0], &[1.0], &[2.0]]);
+/// let data = Dataset::new(x, vec![0, 0, 1, 1], vec![0; 4]);
+/// let svm = LinearSvm::fit(&data, 1e-3, 2000, 1);
+/// assert!(svm.predict(&[1.5]));
+/// assert!(!svm.predict(&[-1.5]));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearSvm {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl LinearSvm {
+    /// Trains with regularization `lambda` for `iters` stochastic steps.
+    ///
+    /// # Panics
+    /// Panics if the dataset is empty.
+    pub fn fit(data: &Dataset, lambda: f64, iters: usize, seed: u64) -> LinearSvm {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = data.dim();
+        let mut w = vec![0.0; d];
+        let mut b = 0.0;
+        for t in 1..=iters {
+            let i = rng.gen_range(0..data.len());
+            let (x, yl) = data.sample(i);
+            let y = if yl == 1 { 1.0 } else { -1.0 };
+            let eta = 1.0 / (lambda * t as f64);
+            let margin = y * (dot(&w, x) + b);
+            for wj in w.iter_mut() {
+                *wj *= 1.0 - eta * lambda;
+            }
+            if margin < 1.0 {
+                for (wj, &xj) in w.iter_mut().zip(x) {
+                    *wj += eta * y * xj;
+                }
+                b += eta * y;
+            }
+        }
+        LinearSvm { weights: w, bias: b }
+    }
+
+    /// Signed decision score (positive → class 1).
+    ///
+    /// # Panics
+    /// Panics if `x` has wrong dimensionality.
+    pub fn decision(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.weights.len(), "dimension mismatch");
+        dot(&self.weights, x) + self.bias
+    }
+
+    /// Class prediction.
+    pub fn predict(&self, x: &[f64]) -> bool {
+        self.decision(x) > 0.0
+    }
+
+    /// Fitted weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Trains an ensemble of `n` SVMs on bootstrap resamples and returns
+    /// them (majority vote at inference), as in Table 3's linear-SVM row.
+    pub fn fit_ensemble(data: &Dataset, n: usize, lambda: f64, iters: usize, seed: u64) -> Vec<LinearSvm> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let idx: Vec<usize> = (0..data.len())
+                    .map(|_| rng.gen_range(0..data.len()))
+                    .collect();
+                LinearSvm::fit(&data.subset(&idx), lambda, iters, rng.gen())
+            })
+            .collect()
+    }
+}
+
+/// The additive χ² kernel `k(x, y) = Σ 2·xᵢyᵢ / (xᵢ + yᵢ)` over
+/// nonnegative features (standard for histogram-like counter data).
+pub fn chi2_kernel(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let s = x + y;
+            if s.abs() < 1e-12 {
+                0.0
+            } else {
+                2.0 * x * y / s
+            }
+        })
+        .sum()
+}
+
+/// A kernel SVM trained by budgeted kernelized Pegasos: the support set is
+/// capped (the paper budgets 1,000 support vectors) by dropping the
+/// lowest-|α| vector when full.
+#[derive(Debug, Clone)]
+pub struct KernelSvm {
+    support: Vec<Vec<f64>>,
+    alphas: Vec<f64>,
+    lambda: f64,
+    steps: usize,
+}
+
+impl KernelSvm {
+    /// Trains with the χ² kernel.
+    ///
+    /// # Panics
+    /// Panics if the dataset is empty or `budget == 0`.
+    pub fn fit_chi2(
+        data: &Dataset,
+        lambda: f64,
+        iters: usize,
+        budget: usize,
+        seed: u64,
+    ) -> KernelSvm {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        assert!(budget >= 1, "support-vector budget must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut svm = KernelSvm {
+            support: Vec::new(),
+            alphas: Vec::new(),
+            lambda,
+            steps: 0,
+        };
+        for t in 1..=iters {
+            let i = rng.gen_range(0..data.len());
+            let (x, yl) = data.sample(i);
+            let y = if yl == 1 { 1.0 } else { -1.0 };
+            let f = svm.raw_decision(x) / (lambda * t as f64);
+            if y * f < 1.0 {
+                svm.support.push(x.to_vec());
+                svm.alphas.push(y);
+                if svm.support.len() > budget {
+                    // Drop the weakest support vector.
+                    let (weakest, _) = svm
+                        .alphas
+                        .iter()
+                        .enumerate()
+                        .min_by(|a, b| {
+                            a.1.abs()
+                                .partial_cmp(&b.1.abs())
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                        })
+                        .unwrap();
+                    svm.support.swap_remove(weakest);
+                    svm.alphas.swap_remove(weakest);
+                }
+            }
+            svm.steps = t;
+        }
+        svm
+    }
+
+    fn raw_decision(&self, x: &[f64]) -> f64 {
+        self.support
+            .iter()
+            .zip(&self.alphas)
+            .map(|(sv, &a)| a * chi2_kernel(sv, x))
+            .sum()
+    }
+
+    /// Signed decision score (positive → class 1).
+    pub fn decision(&self, x: &[f64]) -> f64 {
+        if self.steps == 0 {
+            return 0.0;
+        }
+        self.raw_decision(x) / (self.lambda * self.steps as f64)
+    }
+
+    /// Class prediction.
+    pub fn predict(&self, x: &[f64]) -> bool {
+        self.decision(x) > 0.0
+    }
+
+    /// Number of retained support vectors.
+    pub fn num_support_vectors(&self) -> usize {
+        self.support.len()
+    }
+
+    /// Input dimensionality, if any support vectors are retained.
+    pub fn dim(&self) -> Option<usize> {
+        self.support.first().map(|sv| sv.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::Matrix;
+
+    fn blobs(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let y = rng.gen::<bool>();
+            let cx = if y { 2.0 } else { 0.5 };
+            rows.push(vec![cx + rng.gen::<f64>() * 0.8, cx + rng.gen::<f64>() * 0.8]);
+            labels.push(y as u8);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        Dataset::new(Matrix::from_rows(&refs), labels, vec![0; n])
+    }
+
+    #[test]
+    fn linear_svm_separates_blobs() {
+        let data = blobs(400, 1);
+        let svm = LinearSvm::fit(&data, 1e-3, 20_000, 2);
+        let acc = (0..data.len())
+            .filter(|&i| {
+                let (x, y) = data.sample(i);
+                svm.predict(x) == (y == 1)
+            })
+            .count() as f64
+            / data.len() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn chi2_kernel_properties() {
+        let a = [1.0, 2.0, 0.0];
+        let b = [1.0, 2.0, 0.0];
+        // k(x, x) = sum(x) for the additive chi2 kernel.
+        assert!((chi2_kernel(&a, &b) - 3.0).abs() < 1e-12);
+        // symmetry
+        let c = [0.5, 0.1, 3.0];
+        assert!((chi2_kernel(&a, &c) - chi2_kernel(&c, &a)).abs() < 1e-12);
+        // zeros are safe
+        assert_eq!(chi2_kernel(&[0.0], &[0.0]), 0.0);
+    }
+
+    #[test]
+    fn kernel_svm_separates_blobs() {
+        let data = blobs(300, 3);
+        let svm = KernelSvm::fit_chi2(&data, 1e-3, 4_000, 1000, 4);
+        let acc = (0..data.len())
+            .filter(|&i| {
+                let (x, y) = data.sample(i);
+                svm.predict(x) == (y == 1)
+            })
+            .count() as f64
+            / data.len() as f64;
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn kernel_svm_respects_budget() {
+        let data = blobs(500, 5);
+        let svm = KernelSvm::fit_chi2(&data, 1e-3, 5_000, 50, 6);
+        assert!(svm.num_support_vectors() <= 50);
+    }
+
+    #[test]
+    fn ensemble_has_requested_size() {
+        let data = blobs(200, 7);
+        let ens = LinearSvm::fit_ensemble(&data, 5, 1e-3, 2_000, 8);
+        assert_eq!(ens.len(), 5);
+        let votes = ens.iter().filter(|s| s.predict(&[2.5, 2.5])).count();
+        assert!(votes >= 3, "majority should vote positive");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_rejected() {
+        let d = Dataset::new(Matrix::zeros(0, 1), vec![], vec![]);
+        let _ = LinearSvm::fit(&d, 1e-3, 10, 1);
+    }
+}

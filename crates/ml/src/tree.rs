@@ -1,0 +1,344 @@
+//! CART decision trees grown by entropy minimization, as the paper's
+//! random-forest models are built ("an open source implementation of the
+//! CART algorithm that greedily grows trees by partitioning tuning samples
+//! into groups to minimize label entropy", §7).
+
+use crate::dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// One node of a decision tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// Internal split: `feature < threshold` goes left, else right.
+    Split {
+        /// Feature index compared.
+        feature: usize,
+        /// Split threshold.
+        threshold: f64,
+        /// Left child index.
+        left: usize,
+        /// Right child index.
+        right: usize,
+    },
+    /// Leaf holding the probability of the positive class.
+    Leaf {
+        /// P(y = 1) among training samples reaching the leaf.
+        prob: f64,
+    },
+}
+
+/// A binary CART decision tree.
+///
+/// # Examples
+///
+/// ```
+/// use psca_ml::{Dataset, DecisionTree, Matrix};
+///
+/// let x = Matrix::from_rows(&[&[0.1], &[0.2], &[0.8], &[0.9]]);
+/// let data = Dataset::new(x, vec![0, 0, 1, 1], vec![0; 4]);
+/// let tree = DecisionTree::fit(&data, 4, 1, None, 1);
+/// assert!(tree.predict_proba(&[0.95]) > 0.5);
+/// assert!(tree.predict_proba(&[0.05]) < 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    max_depth: usize,
+    num_features: usize,
+}
+
+impl DecisionTree {
+    /// Grows a tree.
+    ///
+    /// `max_features`: number of candidate features per split (`None` =
+    /// all; random forests pass √d). `seed` drives feature subsampling.
+    ///
+    /// # Panics
+    /// Panics if the dataset is empty or `max_depth == 0`.
+    pub fn fit(
+        data: &Dataset,
+        max_depth: usize,
+        min_leaf: usize,
+        max_features: Option<usize>,
+        seed: u64,
+    ) -> DecisionTree {
+        assert!(!data.is_empty(), "cannot grow a tree on an empty dataset");
+        assert!(max_depth >= 1, "max_depth must be at least 1");
+        let mut rng = rand::SeedableRng::seed_from_u64(seed);
+        let mut tree = DecisionTree {
+            nodes: Vec::new(),
+            max_depth,
+            num_features: data.dim(),
+        };
+        let idx: Vec<usize> = (0..data.len()).collect();
+        tree.grow(data, idx, 0, min_leaf.max(1), max_features, &mut rng);
+        tree
+    }
+
+    fn grow(
+        &mut self,
+        data: &Dataset,
+        idx: Vec<usize>,
+        depth: usize,
+        min_leaf: usize,
+        max_features: Option<usize>,
+        rng: &mut StdRng,
+    ) -> usize {
+        let pos = idx.iter().filter(|&&i| data.labels()[i] == 1).count();
+        let prob = pos as f64 / idx.len() as f64;
+        if depth >= self.max_depth || idx.len() < 2 * min_leaf || pos == 0 || pos == idx.len() {
+            self.nodes.push(Node::Leaf { prob });
+            return self.nodes.len() - 1;
+        }
+        let candidates: Vec<usize> = match max_features {
+            Some(k) if k < data.dim() => {
+                let mut all: Vec<usize> = (0..data.dim()).collect();
+                all.shuffle(rng);
+                all.truncate(k.max(1));
+                all
+            }
+            _ => (0..data.dim()).collect(),
+        };
+        let best = best_split(data, &idx, &candidates, min_leaf);
+        let Some((feature, threshold)) = best else {
+            self.nodes.push(Node::Leaf { prob });
+            return self.nodes.len() - 1;
+        };
+        let (li, ri): (Vec<usize>, Vec<usize>) = idx
+            .into_iter()
+            .partition(|&i| data.features().get(i, feature) < threshold);
+        let node_at = self.nodes.len();
+        self.nodes.push(Node::Leaf { prob }); // placeholder
+        let left = self.grow(data, li, depth + 1, min_leaf, max_features, rng);
+        let right = self.grow(data, ri, depth + 1, min_leaf, max_features, rng);
+        self.nodes[node_at] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        node_at
+    }
+
+    /// Probability of the positive class.
+    ///
+    /// # Panics
+    /// Panics if `x` has wrong dimensionality.
+    pub fn predict_proba(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.num_features, "dimension mismatch");
+        let mut at = 0;
+        let mut hops = 0;
+        loop {
+            match self.nodes[at] {
+                Node::Leaf { prob } => return prob,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    at = if x[feature] < threshold { left } else { right };
+                }
+            }
+            hops += 1;
+            debug_assert!(hops <= self.max_depth + 1, "cycle in tree");
+        }
+    }
+
+    /// Number of nodes actually allocated.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The configured maximum depth.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Depth of the deepest leaf.
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[Node], at: usize) -> usize {
+            match nodes[at] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + walk(nodes, left).max(walk(nodes, right)),
+            }
+        }
+        walk(&self.nodes, 0)
+    }
+
+    /// Node storage for firmware-footprint accounting.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Input dimensionality the tree was trained on.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// Reconstructs a tree from its node array — the firmware-image
+    /// deserialization path.
+    ///
+    /// # Panics
+    /// Panics if the array is empty, any child index or feature is out of
+    /// range, or children do not strictly follow their parents (which
+    /// guarantees the traversal terminates).
+    pub fn from_nodes(nodes: Vec<Node>, max_depth: usize, num_features: usize) -> DecisionTree {
+        assert!(!nodes.is_empty(), "a tree needs at least one node");
+        for (i, n) in nodes.iter().enumerate() {
+            if let Node::Split {
+                feature,
+                left,
+                right,
+                ..
+            } = n
+            {
+                assert!(*feature < num_features, "feature out of range");
+                assert!(
+                    *left < nodes.len() && *right < nodes.len(),
+                    "child index out of range"
+                );
+                assert!(*left > i && *right > i, "children must follow parents");
+            }
+        }
+        DecisionTree {
+            nodes,
+            max_depth,
+            num_features,
+        }
+    }
+}
+
+/// Finds the `(feature, threshold)` minimizing weighted label entropy, or
+/// `None` when no split improves on the parent.
+fn best_split(
+    data: &Dataset,
+    idx: &[usize],
+    candidates: &[usize],
+    min_leaf: usize,
+) -> Option<(usize, f64)> {
+    let n = idx.len() as f64;
+    let total_pos = idx.iter().filter(|&&i| data.labels()[i] == 1).count() as f64;
+    let parent = entropy(total_pos / n);
+    let mut best: Option<(f64, usize, f64)> = None;
+    let mut sorted: Vec<(f64, u8)> = Vec::with_capacity(idx.len());
+    for &f in candidates {
+        sorted.clear();
+        sorted.extend(
+            idx.iter()
+                .map(|&i| (data.features().get(i, f), data.labels()[i])),
+        );
+        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut left_pos = 0.0;
+        let mut left_n = 0.0;
+        for w in 0..sorted.len() - 1 {
+            left_pos += sorted[w].1 as f64;
+            left_n += 1.0;
+            if sorted[w].0 == sorted[w + 1].0 {
+                continue; // cannot split between equal values
+            }
+            if (left_n as usize) < min_leaf || (idx.len() - left_n as usize) < min_leaf {
+                continue;
+            }
+            let right_n = n - left_n;
+            let right_pos = total_pos - left_pos;
+            let h = (left_n / n) * entropy(left_pos / left_n)
+                + (right_n / n) * entropy(right_pos / right_n);
+            let gain = parent - h;
+            if gain > 1e-12 && best.map_or(true, |(g, _, _)| gain > g) {
+                let threshold = 0.5 * (sorted[w].0 + sorted[w + 1].0);
+                best = Some((gain, f, threshold));
+            }
+        }
+    }
+    best.map(|(_, f, t)| (f, t))
+}
+
+fn entropy(p: f64) -> f64 {
+    if p <= 0.0 || p >= 1.0 {
+        return 0.0;
+    }
+    -p * p.log2() - (1.0 - p) * (1.0 - p).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::Matrix;
+
+    fn grid_dataset() -> Dataset {
+        // y = (x0 > 0.5) AND (x1 > 0.5): needs depth 2.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..20 {
+            for j in 0..20 {
+                let x0 = i as f64 / 19.0;
+                let x1 = j as f64 / 19.0;
+                rows.push(vec![x0, x1]);
+                labels.push(((x0 > 0.5) && (x1 > 0.5)) as u8);
+            }
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        Dataset::new(Matrix::from_rows(&refs), labels, vec![0; 400])
+    }
+
+    #[test]
+    fn learns_axis_aligned_and() {
+        let data = grid_dataset();
+        let tree = DecisionTree::fit(&data, 4, 1, None, 1);
+        assert!(tree.predict_proba(&[0.9, 0.9]) > 0.9);
+        assert!(tree.predict_proba(&[0.9, 0.1]) < 0.1);
+        assert!(tree.predict_proba(&[0.1, 0.9]) < 0.1);
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let data = grid_dataset();
+        for d in 1..6 {
+            let tree = DecisionTree::fit(&data, d, 1, None, 1);
+            assert!(tree.depth() <= d, "depth {} > {d}", tree.depth());
+        }
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0]]);
+        let data = Dataset::new(x, vec![1, 1, 1], vec![0; 3]);
+        let tree = DecisionTree::fit(&data, 8, 1, None, 1);
+        assert_eq!(tree.num_nodes(), 1);
+        assert_eq!(tree.predict_proba(&[5.0]), 1.0);
+    }
+
+    #[test]
+    fn min_leaf_prevents_tiny_splits() {
+        let data = grid_dataset();
+        let tree = DecisionTree::fit(&data, 10, 150, None, 1);
+        // With min_leaf=150 of 400 samples, at most ~1 level of splitting.
+        assert!(tree.depth() <= 2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = grid_dataset();
+        let a = DecisionTree::fit(&data, 4, 1, Some(1), 9);
+        let b = DecisionTree::fit(&data, 4, 1, Some(1), 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn constant_features_yield_single_leaf() {
+        let x = Matrix::from_rows(&[&[1.0], &[1.0], &[1.0], &[1.0]]);
+        let data = Dataset::new(x, vec![0, 1, 0, 1], vec![0; 4]);
+        let tree = DecisionTree::fit(&data, 4, 1, None, 1);
+        assert_eq!(tree.num_nodes(), 1);
+        assert_eq!(tree.predict_proba(&[1.0]), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_rejected() {
+        let d = Dataset::new(Matrix::zeros(0, 1), vec![], vec![]);
+        let _ = DecisionTree::fit(&d, 2, 1, None, 1);
+    }
+}

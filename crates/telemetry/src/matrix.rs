@@ -1,0 +1,220 @@
+//! A dense matrix of counter data (rows = intervals, columns = streams).
+
+/// Dense row-major counter matrix used by the selection pipeline.
+///
+/// The paper's counter matrix is `X = [x_1, ..., x_T]` with one column of
+/// counter values per interval (§4.1); we store the transpose (row per
+/// interval) because model training consumes interval rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl CounterMatrix {
+    /// Creates a zeroed matrix.
+    pub fn zeros(rows: usize, cols: usize) -> CounterMatrix {
+        CounterMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from interval rows.
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> CounterMatrix {
+        let n = rows.len();
+        let cols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(n * cols);
+        for r in &rows {
+            assert_eq!(r.len(), cols, "inconsistent row length");
+            data.extend_from_slice(r);
+        }
+        CounterMatrix {
+            rows: n,
+            cols,
+            data,
+        }
+    }
+
+    /// Number of interval rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of counter streams (columns).
+    pub fn num_cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Value at `(row, col)`.
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds indices.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the value at `(row, col)`.
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds indices.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, v: f64) {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col] = v;
+    }
+
+    /// Borrow of one interval row.
+    ///
+    /// # Panics
+    /// Panics if `row >= num_rows()`.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[f64] {
+        assert!(row < self.rows, "row out of bounds");
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Appends an interval row.
+    ///
+    /// # Panics
+    /// Panics if the row length does not match (unless the matrix is empty).
+    pub fn push_row(&mut self, row: &[f64]) {
+        if self.rows == 0 && self.cols == 0 {
+            self.cols = row.len();
+        }
+        assert_eq!(row.len(), self.cols, "row length mismatch");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Mean of a column.
+    pub fn col_mean(&self, col: usize) -> f64 {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        (0..self.rows).map(|r| self.get(r, col)).sum::<f64>() / self.rows as f64
+    }
+
+    /// Population standard deviation of a column.
+    pub fn col_std(&self, col: usize) -> f64 {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        let mean = self.col_mean(col);
+        let var = (0..self.rows)
+            .map(|r| {
+                let d = self.get(r, col) - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / self.rows as f64;
+        var.sqrt()
+    }
+
+    /// Fraction of entries in a column that are exactly zero.
+    pub fn col_zero_fraction(&self, col: usize) -> f64 {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        (0..self.rows).filter(|&r| self.get(r, col) == 0.0).count() as f64 / self.rows as f64
+    }
+
+    /// A new matrix keeping only the given columns, in the given order.
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn select_cols(&self, cols: &[usize]) -> CounterMatrix {
+        let mut out = CounterMatrix::zeros(self.rows, cols.len());
+        for r in 0..self.rows {
+            for (j, &c) in cols.iter().enumerate() {
+                out.set(r, j, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Vertically stacks matrices with identical column counts.
+    ///
+    /// # Panics
+    /// Panics if column counts differ or `mats` is empty.
+    pub fn vstack(mats: &[&CounterMatrix]) -> CounterMatrix {
+        assert!(!mats.is_empty(), "cannot stack zero matrices");
+        let cols = mats[0].cols;
+        let rows = mats.iter().map(|m| m.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for m in mats {
+            assert_eq!(m.cols, cols, "column count mismatch");
+            data.extend_from_slice(&m.data);
+        }
+        CounterMatrix { rows, cols, data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_and_access() {
+        let m = CounterMatrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.num_rows(), 2);
+        assert_eq!(m.num_cols(), 2);
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn push_row_grows() {
+        let mut m = CounterMatrix::zeros(0, 0);
+        m.push_row(&[1.0, 2.0, 3.0]);
+        m.push_row(&[4.0, 5.0, 6.0]);
+        assert_eq!(m.num_rows(), 2);
+        assert_eq!(m.num_cols(), 3);
+        assert_eq!(m.get(1, 2), 6.0);
+    }
+
+    #[test]
+    fn col_statistics() {
+        let m = CounterMatrix::from_rows(vec![vec![1.0, 0.0], vec![3.0, 0.0], vec![5.0, 6.0]]);
+        assert!((m.col_mean(0) - 3.0).abs() < 1e-12);
+        assert!((m.col_std(0) - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!((m.col_zero_fraction(1) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn select_cols_projects() {
+        let m = CounterMatrix::from_rows(vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let s = m.select_cols(&[2, 0]);
+        assert_eq!(s.row(0), &[3.0, 1.0]);
+        assert_eq!(s.row(1), &[6.0, 4.0]);
+    }
+
+    #[test]
+    fn vstack_concatenates_rows() {
+        let a = CounterMatrix::from_rows(vec![vec![1.0, 2.0]]);
+        let b = CounterMatrix::from_rows(vec![vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let v = CounterMatrix::vstack(&[&a, &b]);
+        assert_eq!(v.num_rows(), 3);
+        assert_eq!(v.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent row length")]
+    fn from_rows_rejects_ragged_input() {
+        let _ = CounterMatrix::from_rows(vec![vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let m = CounterMatrix::zeros(1, 1);
+        let _ = m.get(0, 1);
+    }
+}

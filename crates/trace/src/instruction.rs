@@ -1,0 +1,196 @@
+//! The dynamic [`Instruction`] record that traces are made of.
+
+use crate::isa::{BranchInfo, MemRef, OpClass, Reg};
+
+/// One dynamic instruction in a trace.
+///
+/// The record is deliberately compact (`Copy`, fixed size) because the
+/// experiment grid replays hundreds of millions of them. An instruction
+/// carries everything the clustered timing model needs: operation class,
+/// register dataflow (up to two sources, one destination), an optional data
+/// memory reference, a program-counter value for the front-end models, and
+/// the resolved branch outcome when applicable.
+///
+/// # Examples
+///
+/// ```
+/// use psca_trace::{Instruction, MemRef, OpClass, Reg};
+///
+/// let load = Instruction::load(Reg::int(4), Some(Reg::int(2)), MemRef::new(0x1000, 8));
+/// assert_eq!(load.op, OpClass::Load);
+/// assert!(load.mem.is_some());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Instruction {
+    /// Operation class.
+    pub op: OpClass,
+    /// Destination register, if the instruction produces a value.
+    pub dst: Option<Reg>,
+    /// Source registers (dataflow inputs).
+    pub srcs: [Option<Reg>; 2],
+    /// Data memory reference for loads and stores.
+    pub mem: Option<MemRef>,
+    /// Resolved branch outcome for branch classes.
+    pub branch: Option<BranchInfo>,
+    /// Program counter of the instruction.
+    pub pc: u64,
+}
+
+impl Instruction {
+    /// Creates a non-memory, non-branch instruction (ALU/FP/SIMD).
+    #[inline]
+    pub fn alu(op: OpClass, dst: Option<Reg>, srcs: [Option<Reg>; 2]) -> Instruction {
+        debug_assert!(!op.is_mem() && !op.is_branch());
+        Instruction {
+            op,
+            dst,
+            srcs,
+            mem: None,
+            branch: None,
+            pc: 0,
+        }
+    }
+
+    /// Creates a load producing `dst` from address `mem`, optionally
+    /// depending on an address register.
+    #[inline]
+    pub fn load(dst: Reg, addr_src: Option<Reg>, mem: MemRef) -> Instruction {
+        Instruction {
+            op: OpClass::Load,
+            dst: Some(dst),
+            srcs: [addr_src, None],
+            mem: Some(mem),
+            branch: None,
+            pc: 0,
+        }
+    }
+
+    /// Creates a store of `data_src` to address `mem`.
+    #[inline]
+    pub fn store(data_src: Option<Reg>, addr_src: Option<Reg>, mem: MemRef) -> Instruction {
+        Instruction {
+            op: OpClass::Store,
+            dst: None,
+            srcs: [data_src, addr_src],
+            mem: Some(mem),
+            branch: None,
+            pc: 0,
+        }
+    }
+
+    /// Creates a conditional branch with its resolved outcome.
+    #[inline]
+    pub fn cond_branch(srcs: [Option<Reg>; 2], outcome: BranchInfo) -> Instruction {
+        Instruction {
+            op: OpClass::CondBranch,
+            dst: None,
+            srcs,
+            mem: None,
+            branch: Some(outcome),
+            pc: 0,
+        }
+    }
+
+    /// Creates an indirect branch with its resolved outcome.
+    #[inline]
+    pub fn indirect_branch(src: Option<Reg>, outcome: BranchInfo) -> Instruction {
+        Instruction {
+            op: OpClass::IndirectBranch,
+            dst: None,
+            srcs: [src, None],
+            mem: None,
+            branch: Some(outcome),
+            pc: 0,
+        }
+    }
+
+    /// Returns a copy with the program counter set.
+    #[inline]
+    pub fn at_pc(mut self, pc: u64) -> Instruction {
+        self.pc = pc;
+        self
+    }
+
+    /// Number of register sources actually present.
+    #[inline]
+    pub fn src_count(&self) -> usize {
+        self.srcs.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Validates internal consistency (memory ops carry a [`MemRef`],
+    /// branches carry a [`BranchInfo`], and vice versa).
+    pub fn is_well_formed(&self) -> bool {
+        let mem_ok = self.op.is_mem() == self.mem.is_some();
+        let br_ok = if self.op.is_branch() {
+            self.branch.is_some()
+        } else {
+            self.branch.is_none()
+        };
+        let dst_ok = match self.op {
+            OpClass::Load => self.dst.is_some(),
+            OpClass::Store | OpClass::Jump | OpClass::CondBranch | OpClass::IndirectBranch => {
+                self.dst.is_none()
+            }
+            _ => true,
+        };
+        mem_ok && br_ok && dst_ok
+    }
+}
+
+impl Default for Instruction {
+    /// A well-formed single-cycle integer no-op.
+    fn default() -> Instruction {
+        Instruction::alu(OpClass::Other, None, [None, None])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_are_well_formed() {
+        let l = Instruction::load(Reg::int(1), Some(Reg::int(0)), MemRef::new(64, 8));
+        let s = Instruction::store(Some(Reg::int(1)), None, MemRef::new(128, 8));
+        let b = Instruction::cond_branch([Some(Reg::int(1)), None], BranchInfo::new(true, 0x40));
+        let a = Instruction::alu(OpClass::FpMul, Some(Reg::fp(0)), [Some(Reg::fp(1)), None]);
+        let i = Instruction::indirect_branch(Some(Reg::int(2)), BranchInfo::new(true, 0x99));
+        for inst in [l, s, b, a, i, Instruction::default()] {
+            assert!(inst.is_well_formed(), "{inst:?}");
+        }
+    }
+
+    #[test]
+    fn ill_formed_detected() {
+        let mut bad = Instruction::load(Reg::int(1), None, MemRef::new(0, 8));
+        bad.mem = None;
+        assert!(!bad.is_well_formed());
+
+        let mut bad2 = Instruction::alu(OpClass::IntAlu, None, [None, None]);
+        bad2.branch = Some(BranchInfo::new(false, 0));
+        assert!(!bad2.is_well_formed());
+    }
+
+    #[test]
+    fn src_count_counts_present_sources() {
+        let a = Instruction::alu(
+            OpClass::IntAlu,
+            Some(Reg::int(0)),
+            [Some(Reg::int(1)), Some(Reg::int(2))],
+        );
+        assert_eq!(a.src_count(), 2);
+        assert_eq!(Instruction::default().src_count(), 0);
+    }
+
+    #[test]
+    fn at_pc_sets_pc() {
+        let i = Instruction::default().at_pc(0xdead);
+        assert_eq!(i.pc, 0xdead);
+    }
+
+    #[test]
+    fn instruction_is_small() {
+        // Traces replay hundreds of millions of these; keep them compact.
+        assert!(std::mem::size_of::<Instruction>() <= 64);
+    }
+}

@@ -1,0 +1,265 @@
+//! Streaming trace abstractions.
+//!
+//! Traces in the paper are multi-million-instruction recordings; the
+//! experiment grid replays thousands of them. [`TraceSource`] is a pull
+//! interface so that synthetic traces can be generated on the fly without
+//! ever being materialized in memory.
+
+use crate::instruction::Instruction;
+
+/// A pull-based source of dynamic instructions.
+///
+/// Implementors generate or replay one instruction per call. A source is
+/// exhausted when [`TraceSource::next_instruction`] returns `None`; it must
+/// keep returning `None` afterwards (fused semantics).
+///
+/// The trait is object-safe so heterogeneous workload corpora can be stored
+/// as `Box<dyn TraceSource>`.
+pub trait TraceSource {
+    /// Produces the next dynamic instruction, or `None` when the trace ends.
+    fn next_instruction(&mut self) -> Option<Instruction>;
+
+    /// A hint of how many instructions remain, if known.
+    fn remaining_hint(&self) -> Option<u64> {
+        None
+    }
+
+    /// Caps this source at `n` instructions.
+    fn take_insts(self, n: u64) -> Take<Self>
+    where
+        Self: Sized,
+    {
+        Take {
+            inner: self,
+            left: n,
+        }
+    }
+
+    /// Chains another source after this one.
+    fn chain_trace<S: TraceSource>(self, other: S) -> Chain<Self, S>
+    where
+        Self: Sized,
+    {
+        Chain {
+            first: self,
+            second: other,
+            on_second: false,
+        }
+    }
+}
+
+impl<T: TraceSource + ?Sized> TraceSource for Box<T> {
+    fn next_instruction(&mut self) -> Option<Instruction> {
+        (**self).next_instruction()
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        (**self).remaining_hint()
+    }
+}
+
+impl<T: TraceSource + ?Sized> TraceSource for &mut T {
+    fn next_instruction(&mut self) -> Option<Instruction> {
+        (**self).next_instruction()
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        (**self).remaining_hint()
+    }
+}
+
+/// An in-memory trace backed by a `Vec<Instruction>`.
+///
+/// Useful for tests and for recording short windows (e.g. SimPoints) for
+/// repeated replay during paired-mode dataset generation.
+#[derive(Debug, Clone, Default)]
+pub struct VecTrace {
+    insts: Vec<Instruction>,
+    pos: usize,
+}
+
+impl VecTrace {
+    /// Creates a trace over the given instructions.
+    pub fn new(insts: Vec<Instruction>) -> VecTrace {
+        VecTrace { insts, pos: 0 }
+    }
+
+    /// Records up to `n` instructions from `source` into a replayable trace.
+    pub fn record<S: TraceSource>(source: &mut S, n: u64) -> VecTrace {
+        let mut insts = Vec::with_capacity(n.min(1 << 22) as usize);
+        for _ in 0..n {
+            match source.next_instruction() {
+                Some(i) => insts.push(i),
+                None => break,
+            }
+        }
+        VecTrace::new(insts)
+    }
+
+    /// Number of instructions in the trace (independent of replay position).
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the trace holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Resets the replay cursor to the beginning.
+    pub fn rewind(&mut self) {
+        self.pos = 0;
+    }
+
+    /// Read-only view of the recorded instructions.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.insts
+    }
+}
+
+impl TraceSource for VecTrace {
+    fn next_instruction(&mut self) -> Option<Instruction> {
+        let inst = self.insts.get(self.pos).copied();
+        if inst.is_some() {
+            self.pos += 1;
+        }
+        inst
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        Some((self.insts.len() - self.pos) as u64)
+    }
+}
+
+/// Adapter returned by [`TraceSource::take_insts`].
+#[derive(Debug, Clone)]
+pub struct Take<S> {
+    inner: S,
+    left: u64,
+}
+
+impl<S: TraceSource> TraceSource for Take<S> {
+    fn next_instruction(&mut self) -> Option<Instruction> {
+        if self.left == 0 {
+            return None;
+        }
+        let inst = self.inner.next_instruction();
+        if inst.is_some() {
+            self.left -= 1;
+        } else {
+            self.left = 0;
+        }
+        inst
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        match self.inner.remaining_hint() {
+            Some(r) => Some(r.min(self.left)),
+            None => Some(self.left),
+        }
+    }
+}
+
+/// Adapter returned by [`TraceSource::chain_trace`].
+#[derive(Debug, Clone)]
+pub struct Chain<A, B> {
+    first: A,
+    second: B,
+    on_second: bool,
+}
+
+impl<A: TraceSource, B: TraceSource> TraceSource for Chain<A, B> {
+    fn next_instruction(&mut self) -> Option<Instruction> {
+        if !self.on_second {
+            if let Some(i) = self.first.next_instruction() {
+                return Some(i);
+            }
+            self.on_second = true;
+        }
+        self.second.next_instruction()
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        let a = if self.on_second {
+            Some(0)
+        } else {
+            self.first.remaining_hint()
+        };
+        match (a, self.second.remaining_hint()) {
+            (Some(a), Some(b)) => Some(a + b),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::OpClass;
+
+    fn nops(n: usize) -> Vec<Instruction> {
+        (0..n)
+            .map(|i| Instruction::alu(OpClass::IntAlu, None, [None, None]).at_pc(i as u64 * 4))
+            .collect()
+    }
+
+    #[test]
+    fn vec_trace_replays_in_order_and_fuses() {
+        let mut t = VecTrace::new(nops(3));
+        assert_eq!(t.remaining_hint(), Some(3));
+        assert_eq!(t.next_instruction().unwrap().pc, 0);
+        assert_eq!(t.next_instruction().unwrap().pc, 4);
+        assert_eq!(t.next_instruction().unwrap().pc, 8);
+        assert!(t.next_instruction().is_none());
+        assert!(t.next_instruction().is_none());
+        t.rewind();
+        assert_eq!(t.next_instruction().unwrap().pc, 0);
+    }
+
+    #[test]
+    fn take_caps_length() {
+        let mut t = VecTrace::new(nops(10)).take_insts(4);
+        let mut n = 0;
+        while t.next_instruction().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 4);
+        assert_eq!(t.remaining_hint(), Some(0));
+    }
+
+    #[test]
+    fn take_on_short_source_stops_early() {
+        let mut t = VecTrace::new(nops(2)).take_insts(100);
+        assert!(t.next_instruction().is_some());
+        assert!(t.next_instruction().is_some());
+        assert!(t.next_instruction().is_none());
+    }
+
+    #[test]
+    fn chain_concatenates() {
+        let a = VecTrace::new(nops(2));
+        let b = VecTrace::new(nops(3));
+        let mut c = a.chain_trace(b);
+        assert_eq!(c.remaining_hint(), Some(5));
+        let mut n = 0;
+        while c.next_instruction().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn record_captures_prefix() {
+        let mut src = VecTrace::new(nops(10));
+        let rec = VecTrace::record(&mut src, 6);
+        assert_eq!(rec.len(), 6);
+        assert_eq!(src.remaining_hint(), Some(4));
+    }
+
+    #[test]
+    fn boxed_dyn_source_works() {
+        let mut b: Box<dyn TraceSource> = Box::new(VecTrace::new(nops(2)));
+        assert!(b.next_instruction().is_some());
+        assert_eq!(b.remaining_hint(), Some(1));
+    }
+}

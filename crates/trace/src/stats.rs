@@ -1,0 +1,130 @@
+//! Trace summary statistics.
+//!
+//! Used by the workload synthesizer's self-checks (does a generated
+//! archetype actually have the instruction mix it promises?) and by tests.
+
+use crate::instruction::Instruction;
+use crate::isa::OpClass;
+use crate::source::TraceSource;
+
+/// Aggregate statistics over a trace.
+///
+/// # Examples
+///
+/// ```
+/// use psca_trace::{Instruction, OpClass, TraceStats, VecTrace};
+///
+/// let insts = vec![Instruction::alu(OpClass::IntAlu, None, [None, None]); 10];
+/// let stats = TraceStats::from_source(&mut VecTrace::new(insts));
+/// assert_eq!(stats.total, 10);
+/// assert_eq!(stats.fraction(OpClass::IntAlu), 1.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceStats {
+    /// Total dynamic instructions observed.
+    pub total: u64,
+    /// Count per operation class, indexed by [`OpClass::index`].
+    pub per_class: [u64; OpClass::ALL.len()],
+    /// Count of instructions with at least one register source.
+    pub with_sources: u64,
+    /// Count of taken branches.
+    pub taken_branches: u64,
+    /// Number of distinct 64-byte data cache lines touched (approximate,
+    /// exact for traces touching fewer than ~1M lines).
+    pub distinct_lines: u64,
+    line_set: std::collections::HashSet<u64>,
+}
+
+impl TraceStats {
+    /// Computes statistics by draining a source.
+    pub fn from_source<S: TraceSource>(source: &mut S) -> TraceStats {
+        let mut stats = TraceStats::default();
+        while let Some(inst) = source.next_instruction() {
+            stats.observe(&inst);
+        }
+        stats
+    }
+
+    /// Incorporates a single instruction.
+    pub fn observe(&mut self, inst: &Instruction) {
+        self.total += 1;
+        self.per_class[inst.op.index()] += 1;
+        if inst.src_count() > 0 {
+            self.with_sources += 1;
+        }
+        if let Some(b) = inst.branch {
+            if b.taken {
+                self.taken_branches += 1;
+            }
+        }
+        if let Some(m) = inst.mem {
+            if self.line_set.len() < 1 << 20 && self.line_set.insert(m.addr >> 6) {
+                self.distinct_lines += 1;
+            }
+        }
+    }
+
+    /// Fraction of instructions in the given class (0 if the trace is empty).
+    pub fn fraction(&self, op: OpClass) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.per_class[op.index()] as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of instructions that are loads or stores.
+    pub fn mem_fraction(&self) -> f64 {
+        self.fraction(OpClass::Load) + self.fraction(OpClass::Store)
+    }
+
+    /// Fraction of instructions that are branches of any kind.
+    pub fn branch_fraction(&self) -> f64 {
+        self.fraction(OpClass::Jump)
+            + self.fraction(OpClass::CondBranch)
+            + self.fraction(OpClass::IndirectBranch)
+    }
+
+    /// Fraction of instructions on the FP/SIMD stack.
+    pub fn fp_fraction(&self) -> f64 {
+        OpClass::ALL
+            .iter()
+            .filter(|o| o.is_fp())
+            .map(|&o| self.fraction(o))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{BranchInfo, MemRef, Reg};
+    use crate::source::VecTrace;
+
+    #[test]
+    fn stats_count_mix() {
+        let insts = vec![
+            Instruction::alu(OpClass::IntAlu, Some(Reg::int(0)), [None, None]),
+            Instruction::load(Reg::int(1), Some(Reg::int(0)), MemRef::new(0, 8)),
+            Instruction::load(Reg::int(2), None, MemRef::new(64, 8)),
+            Instruction::store(Some(Reg::int(1)), None, MemRef::new(0, 8)),
+            Instruction::cond_branch([Some(Reg::int(2)), None], BranchInfo::new(true, 8)),
+        ];
+        let stats = TraceStats::from_source(&mut VecTrace::new(insts));
+        assert_eq!(stats.total, 5);
+        assert_eq!(stats.per_class[OpClass::Load.index()], 2);
+        assert!((stats.mem_fraction() - 0.6).abs() < 1e-12);
+        assert!((stats.branch_fraction() - 0.2).abs() < 1e-12);
+        assert_eq!(stats.taken_branches, 1);
+        assert_eq!(stats.distinct_lines, 2); // lines 0 and 1
+        assert_eq!(stats.with_sources, 3);
+    }
+
+    #[test]
+    fn empty_trace_has_zero_fractions() {
+        let stats = TraceStats::from_source(&mut VecTrace::default());
+        assert_eq!(stats.total, 0);
+        assert_eq!(stats.fraction(OpClass::Load), 0.0);
+        assert_eq!(stats.fp_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! The microcontroller computation-budget arithmetic of Table 3.
+
+/// The host CPU's instruction throughput.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuSpec {
+    /// Clock in MHz.
+    pub clock_mhz: u64,
+    /// Peak issue width.
+    pub width: u32,
+}
+
+impl CpuSpec {
+    /// The paper's CPU: 2.0 GHz, 8-wide → 16,000 MIPS.
+    pub fn paper() -> CpuSpec {
+        CpuSpec {
+            clock_mhz: 2000,
+            width: 8,
+        }
+    }
+
+    /// Peak instruction throughput in MIPS.
+    pub fn mips(&self) -> u64 {
+        self.clock_mhz * self.width as u64
+    }
+}
+
+/// The on-die microcontroller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McuSpec {
+    /// Clock in MHz (1-wide → MIPS = MHz).
+    pub clock_mhz: u64,
+    /// Fraction of cycles safely available for inference.
+    pub available: f64,
+}
+
+impl McuSpec {
+    /// The paper's µC: 500 MHz, 1-wide, 50% duty available (§3, §5).
+    pub fn paper() -> McuSpec {
+        McuSpec {
+            clock_mhz: 500,
+            available: 0.5,
+        }
+    }
+
+    /// Instruction throughput in MIPS.
+    pub fn mips(&self) -> u64 {
+        self.clock_mhz
+    }
+}
+
+/// One row of Table 3's budget panel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetRow {
+    /// Prediction granularity in CPU instructions.
+    pub granularity: u64,
+    /// Maximum µC ops that elapse during one interval.
+    pub max_ops: u64,
+    /// Ops available for a prediction (after the duty factor).
+    pub budget: u64,
+}
+
+/// Computes the Table 3 budget row for a prediction granularity.
+///
+/// With the paper's specs the computation ratio is 1:32, giving e.g.
+/// 312 max ops / 156 budget at 10k instructions.
+///
+/// # Panics
+/// Panics if `granularity == 0`.
+pub fn ops_budget(cpu: &CpuSpec, mcu: &McuSpec, granularity: u64) -> BudgetRow {
+    assert!(granularity > 0, "granularity must be positive");
+    let max_ops = granularity * mcu.mips() / cpu.mips();
+    let budget = (max_ops as f64 * mcu.available) as u64;
+    BudgetRow {
+        granularity,
+        max_ops,
+        budget,
+    }
+}
+
+/// The finest granularity (multiple of `step`) whose budget covers
+/// `ops_per_prediction`, capped at `max_granularity`. Returns `None` when
+/// even the cap is insufficient.
+pub fn finest_granularity(
+    cpu: &CpuSpec,
+    mcu: &McuSpec,
+    ops_per_prediction: u64,
+    step: u64,
+    max_granularity: u64,
+) -> Option<u64> {
+    let mut g = step;
+    while g <= max_granularity {
+        if ops_budget(cpu, mcu, g).budget >= ops_per_prediction {
+            return Some(g);
+        }
+        g += step;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_budget_rows_match_paper() {
+        let cpu = CpuSpec::paper();
+        let mcu = McuSpec::paper();
+        // (granularity, max ops, budget) from Table 3's left panel.
+        for (g, max, budget) in [
+            (10_000u64, 312u64, 156u64),
+            (20_000, 625, 312),
+            (30_000, 937, 468),
+            (40_000, 1_250, 625),
+            (50_000, 1_562, 781),
+            (60_000, 1_875, 937),
+            (100_000, 3_125, 1_562),
+        ] {
+            let row = ops_budget(&cpu, &mcu, g);
+            assert_eq!(row.max_ops, max, "max ops at {g}");
+            assert_eq!(row.budget, budget, "budget at {g}");
+        }
+    }
+
+    #[test]
+    fn paper_specs() {
+        assert_eq!(CpuSpec::paper().mips(), 16_000);
+        assert_eq!(McuSpec::paper().mips(), 500);
+    }
+
+    #[test]
+    fn finest_granularity_picks_paper_intervals() {
+        let cpu = CpuSpec::paper();
+        let mcu = McuSpec::paper();
+        // CHARSTAR: 292 ops → 20k (§7).
+        assert_eq!(finest_granularity(&cpu, &mcu, 292, 10_000, 100_000), Some(20_000));
+        // Best RF: 538 ops → 40k (§7).
+        assert_eq!(finest_granularity(&cpu, &mcu, 538, 10_000, 100_000), Some(40_000));
+        // Best MLP: 678 ops → 50k (§7).
+        assert_eq!(finest_granularity(&cpu, &mcu, 678, 10_000, 100_000), Some(50_000));
+        // SRCH: 572 ops → 40k (§7).
+        assert_eq!(finest_granularity(&cpu, &mcu, 572, 10_000, 100_000), Some(40_000));
+        // χ² SVM at 121k ops never fits.
+        assert_eq!(finest_granularity(&cpu, &mcu, 121_000, 10_000, 100_000), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_granularity_rejected() {
+        let _ = ops_budget(&CpuSpec::paper(), &McuSpec::paper(), 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Explicit firmware operation accounting.
+//!
+//! The paper's firmware listings (Listings 1 & 2) count loads, multiplies,
+//! adds, and compares of hand-optimized x87-style routines. [`OpCounter`]
+//! mirrors that accounting so every [`crate::FirmwareModel`] inference
+//! reports exactly how many µC operations it would execute.
+
+/// Operation tally of one firmware routine execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounter {
+    /// Memory loads (weight/threshold/node fetches).
+    pub loads: u64,
+    /// Multiplications.
+    pub muls: u64,
+    /// Additions / subtractions.
+    pub adds: u64,
+    /// Divisions.
+    pub divs: u64,
+    /// Comparisons / conditional moves.
+    pub compares: u64,
+    /// Other scalar ops (address arithmetic, conversions).
+    pub other: u64,
+}
+
+impl OpCounter {
+    /// A zeroed counter.
+    pub fn new() -> OpCounter {
+        OpCounter::default()
+    }
+
+    /// Total operations.
+    pub fn total(&self) -> u64 {
+        self.loads + self.muls + self.adds + self.divs + self.compares + self.other
+    }
+
+    /// Accounts one inner product of length `n` in the style of
+    /// Listing 1: per element a weight load, a multiply, and an add (the
+    /// bias starts out resident in the accumulator register, as in the
+    /// hand-optimized listing, so it costs nothing extra).
+    pub fn inner_product(&mut self, n: usize) {
+        self.loads += n as u64;
+        self.muls += n as u64;
+        self.adds += n as u64;
+    }
+
+    /// Accounts one ReLU (compare + multiply, as in Listing 1).
+    pub fn relu(&mut self) {
+        self.compares += 1;
+        self.muls += 1;
+    }
+
+    /// Accounts one branch-free decision-tree level in the style of
+    /// Listing 2: node-threshold load, counter load, compare, and the
+    /// conditional-move/address arithmetic that selects the child.
+    pub fn tree_level(&mut self) {
+        self.loads += 2;
+        self.compares += 1;
+        self.other += 4;
+    }
+
+    /// Accounts a χ² kernel evaluation of dimension `n`:
+    /// per element two loads, an add, two multiplies, and a divide.
+    pub fn chi2_kernel(&mut self, n: usize) {
+        self.loads += 2 * n as u64;
+        self.adds += n as u64;
+        self.muls += 2 * n as u64;
+        self.divs += n as u64;
+    }
+}
+
+impl std::ops::Add for OpCounter {
+    type Output = OpCounter;
+    fn add(self, rhs: OpCounter) -> OpCounter {
+        OpCounter {
+            loads: self.loads + rhs.loads,
+            muls: self.muls + rhs.muls,
+            adds: self.adds + rhs.adds,
+            divs: self.divs + rhs.divs,
+            compares: self.compares + rhs.compares,
+            other: self.other + rhs.other,
+        }
+    }
+}
+
+impl std::fmt::Display for OpCounter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ops (ld {}, mul {}, add {}, div {}, cmp {}, other {})",
+            self.total(),
+            self.loads,
+            self.muls,
+            self.adds,
+            self.divs,
+            self.compares,
+            self.other
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inner_product_cost_matches_listing1() {
+        let mut c = OpCounter::new();
+        c.inner_product(4);
+        assert_eq!(c.loads, 4);
+        assert_eq!(c.muls, 4);
+        assert_eq!(c.adds, 4);
+        assert_eq!(c.total(), 12);
+    }
+
+    #[test]
+    fn tree_level_cost_is_constant() {
+        let mut c = OpCounter::new();
+        c.tree_level();
+        let one = c.total();
+        c.tree_level();
+        assert_eq!(c.total(), 2 * one);
+    }
+
+    #[test]
+    fn add_combines_fields() {
+        let mut a = OpCounter::new();
+        a.inner_product(3);
+        let mut b = OpCounter::new();
+        b.relu();
+        let c = a + b;
+        assert_eq!(c.total(), a.total() + b.total());
+    }
+
+    #[test]
+    fn display_contains_total() {
+        let mut c = OpCounter::new();
+        c.chi2_kernel(2);
+        assert!(c.to_string().contains(&c.total().to_string()));
+    }
+}

@@ -1,0 +1,278 @@
+//! Application models: Markov chains over sampled phases.
+
+use crate::archetype::{Archetype, PhaseParams};
+use crate::category::Category;
+use crate::phasegen::PhaseGenerator;
+use psca_trace::{Instruction, TraceSource};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A synthetic application: a small set of concrete phases plus a Markov
+/// transition structure and phase-duration statistics.
+///
+/// One application executed on one input is a *workload* (§4.1); inputs are
+/// modeled as seeds that shift phase durations, the initial phase, and the
+/// dwell pattern, while the phases themselves (the "code") stay fixed.
+#[derive(Debug, Clone)]
+pub struct ApplicationModel {
+    name: String,
+    category: Category,
+    phases: Vec<PhaseParams>,
+    /// Row-stochastic transition matrix between phases.
+    transition: Vec<Vec<f64>>,
+    /// Mean instructions per phase visit.
+    mean_phase_len: u64,
+    /// Seed identifying the application ("its code").
+    seed: u64,
+}
+
+impl ApplicationModel {
+    /// Synthesizes an application of the given category.
+    ///
+    /// `jitter` controls how far phase parameters wander from archetype
+    /// centers (per-application uniqueness); `mean_phase_len` is the mean
+    /// dwell per phase visit in instructions.
+    pub fn synth(
+        name: impl Into<String>,
+        category: Category,
+        seed: u64,
+        mean_phase_len: u64,
+    ) -> ApplicationModel {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5CA1_AB1E);
+        let weights = category.archetype_weights();
+        let n_phases = rng.gen_range(2..=5usize);
+        let phases: Vec<PhaseParams> = (0..n_phases)
+            .map(|_| {
+                let a = sample_weighted(&mut rng, &weights);
+                a.sample_params(&mut rng, 0.35)
+            })
+            .collect();
+        let transition = random_stochastic_matrix(&mut rng, n_phases);
+        ApplicationModel {
+            name: name.into(),
+            category,
+            phases,
+            transition,
+            mean_phase_len,
+            seed,
+        }
+    }
+
+    /// Builds an application from explicit phases and a uniform transition
+    /// structure — used by the SPEC-like suite, where benchmark profiles
+    /// are fixed by hand.
+    pub fn from_phases(
+        name: impl Into<String>,
+        category: Category,
+        phases: Vec<PhaseParams>,
+        mean_phase_len: u64,
+        seed: u64,
+    ) -> ApplicationModel {
+        assert!(!phases.is_empty(), "an application needs at least one phase");
+        let n = phases.len();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF1E1_D5);
+        let transition = random_stochastic_matrix(&mut rng, n);
+        ApplicationModel {
+            name: name.into(),
+            category,
+            phases,
+            transition,
+            mean_phase_len,
+            seed,
+        }
+    }
+
+    /// Application name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Application category.
+    pub fn category(&self) -> Category {
+        self.category
+    }
+
+    /// The application's concrete phases.
+    pub fn phases(&self) -> &[PhaseParams] {
+        &self.phases
+    }
+
+    /// Archetypes present in this application.
+    pub fn archetypes(&self) -> Vec<Archetype> {
+        self.phases.iter().map(|p| p.archetype).collect()
+    }
+
+    /// Creates the workload trace for a given input seed.
+    ///
+    /// The same `(application, input)` pair always yields the identical
+    /// instruction stream. The stream is unbounded; cap it with
+    /// [`TraceSource::take_insts`].
+    pub fn trace(&self, input: u64) -> AppTrace {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ input.wrapping_mul(0x9E37_79B9));
+        let start = rng.gen_range(0..self.phases.len());
+        let gen_seed: u64 = rng.gen();
+        let mut trace = AppTrace {
+            app: self.clone(),
+            rng,
+            current: start,
+            generator: PhaseGenerator::new(self.phases[start], gen_seed),
+            remaining_in_phase: 0,
+        };
+        trace.remaining_in_phase = trace.sample_phase_len();
+        trace
+    }
+}
+
+/// A workload instruction stream produced by [`ApplicationModel::trace`].
+#[derive(Debug, Clone)]
+pub struct AppTrace {
+    app: ApplicationModel,
+    rng: StdRng,
+    current: usize,
+    generator: PhaseGenerator,
+    remaining_in_phase: u64,
+}
+
+impl AppTrace {
+    /// Index of the phase currently executing.
+    pub fn current_phase(&self) -> usize {
+        self.current
+    }
+
+    fn sample_phase_len(&mut self) -> u64 {
+        // Uniform in [0.5, 1.5] × mean keeps phases long relative to the
+        // telemetry interval, so per-phase telemetry is stationary.
+        let m = self.app.mean_phase_len as f64;
+        (m * (0.5 + self.rng.gen::<f64>())).round() as u64
+    }
+
+    fn transition(&mut self) {
+        let row = &self.app.transition[self.current];
+        let u: f64 = self.rng.gen();
+        let mut acc = 0.0;
+        let mut next = self.current;
+        for (j, &p) in row.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                next = j;
+                break;
+            }
+        }
+        self.current = next;
+        let gen_seed: u64 = self.rng.gen();
+        self.generator = PhaseGenerator::new(self.app.phases[next], gen_seed);
+        self.remaining_in_phase = self.sample_phase_len();
+    }
+}
+
+impl TraceSource for AppTrace {
+    fn next_instruction(&mut self) -> Option<Instruction> {
+        if self.remaining_in_phase == 0 {
+            self.transition();
+        }
+        self.remaining_in_phase -= 1;
+        self.generator.next_instruction()
+    }
+}
+
+fn sample_weighted<R: Rng>(rng: &mut R, weights: &[(Archetype, f64)]) -> Archetype {
+    let total: f64 = weights.iter().map(|(_, w)| w).sum();
+    let mut u = rng.gen::<f64>() * total;
+    for &(a, w) in weights {
+        if u < w {
+            return a;
+        }
+        u -= w;
+    }
+    weights[weights.len() - 1].0
+}
+
+fn random_stochastic_matrix<R: Rng>(rng: &mut R, n: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            let mut row: Vec<f64> = (0..n)
+                .map(|j| if i == j { 0.05 } else { rng.gen::<f64>() + 0.1 })
+                .collect();
+            let s: f64 = row.iter().sum();
+            for v in &mut row {
+                *v /= s;
+            }
+            row
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synth_is_deterministic() {
+        let a = ApplicationModel::synth("app", Category::HpcPerf, 11, 5000);
+        let b = ApplicationModel::synth("app", Category::HpcPerf, 11, 5000);
+        assert_eq!(a.phases(), b.phases());
+    }
+
+    #[test]
+    fn different_seeds_give_different_apps() {
+        let a = ApplicationModel::synth("a", Category::HpcPerf, 1, 5000);
+        let b = ApplicationModel::synth("b", Category::HpcPerf, 2, 5000);
+        assert_ne!(a.phases(), b.phases());
+    }
+
+    #[test]
+    fn trace_is_deterministic_per_input() {
+        let app = ApplicationModel::synth("app", Category::Multimedia, 3, 2000);
+        let mut t1 = app.trace(9);
+        let mut t2 = app.trace(9);
+        for _ in 0..5000 {
+            assert_eq!(t1.next_instruction(), t2.next_instruction());
+        }
+    }
+
+    #[test]
+    fn different_inputs_give_different_workloads() {
+        let app = ApplicationModel::synth("app", Category::Multimedia, 3, 2000);
+        let mut t1 = app.trace(1);
+        let mut t2 = app.trace(2);
+        let same = (0..1000)
+            .filter(|_| t1.next_instruction() == t2.next_instruction())
+            .count();
+        assert!(same < 1000);
+    }
+
+    #[test]
+    fn phases_transition_over_time() {
+        let app = ApplicationModel::synth("app", Category::GamesRendering, 5, 500);
+        let mut t = app.trace(0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..20_000 {
+            t.next_instruction();
+            seen.insert(t.current_phase());
+        }
+        assert!(seen.len() >= 2, "only saw phases {seen:?}");
+    }
+
+    #[test]
+    fn transition_rows_are_stochastic() {
+        let app = ApplicationModel::synth("app", Category::CloudSecurity, 8, 1000);
+        for row in &app.transition {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+            assert!(row.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn from_phases_requires_nonempty() {
+        let p = Archetype::Balanced.center();
+        let app = ApplicationModel::from_phases("x", Category::HpcPerf, vec![p], 1000, 0);
+        assert_eq!(app.phases().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn from_phases_rejects_empty() {
+        let _ = ApplicationModel::from_phases("x", Category::HpcPerf, vec![], 1000, 0);
+    }
+}

@@ -1,0 +1,528 @@
+//! Phase behaviour archetypes and their concrete sampled parameters.
+//!
+//! An archetype is a *family* of phase behaviours: it fixes the rough shape
+//! of the instruction mix, the dependence structure (which determines how
+//! the phase responds to issue width), and the memory/branch profile.
+//! Concrete phases are sampled from an archetype with per-application
+//! jitter, giving the corpus the long-tailed diversity the paper's
+//! blindspot analysis depends on (§6.1).
+
+use rand::Rng;
+
+/// A phase behaviour family.
+///
+/// The two `StreamFp*` archetypes form the engineered *blindspot pair*: they
+/// present nearly identical instruction mixes, cache behaviour, and branch
+/// behaviour — differing only in dependence structure, which is invisible to
+/// the CHARSTAR expert counter set but visible to the dependence-visibility
+/// counters PF selection picks (see `DESIGN.md` §4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Archetype {
+    /// Wide integer ILP: many independent chains; needs the 8-wide mode.
+    ScalarIlp,
+    /// Serial integer dependence chains; 4-wide loses nothing.
+    DepChain,
+    /// Working set far beyond the LLC, random access; memory-bound.
+    MemBound,
+    /// Loads feeding loads (linked structures); extremely latency-bound.
+    PointerChase,
+    /// High branch density with hard-to-predict outcomes.
+    Branchy,
+    /// Streaming FP with many independent chains (blindspot twin, wide).
+    StreamFpWide,
+    /// Streaming FP with long dependence chains (blindspot twin, serial).
+    StreamFpChain,
+    /// Large code footprint; front-end / I-cache bound.
+    IcacheHeavy,
+    /// Store-dominated; store-queue pressure.
+    StoreHeavy,
+    /// Sparse page access pattern; TLB-bound.
+    TlbThrash,
+    /// Packed SIMD kernels with moderate-to-high ILP.
+    SimdKernel,
+    /// Middle-of-the-road mixed behaviour.
+    Balanced,
+}
+
+impl Archetype {
+    /// All archetypes in a fixed order.
+    pub const ALL: [Archetype; 12] = [
+        Archetype::ScalarIlp,
+        Archetype::DepChain,
+        Archetype::MemBound,
+        Archetype::PointerChase,
+        Archetype::Branchy,
+        Archetype::StreamFpWide,
+        Archetype::StreamFpChain,
+        Archetype::IcacheHeavy,
+        Archetype::StoreHeavy,
+        Archetype::TlbThrash,
+        Archetype::SimdKernel,
+        Archetype::Balanced,
+    ];
+
+    /// Samples concrete phase parameters from this archetype.
+    ///
+    /// `jitter` in `[0, 1]` scales how far parameters may wander from the
+    /// archetype's center — per-application diversity comes from here.
+    pub fn sample_params<R: Rng>(self, rng: &mut R, jitter: f64) -> PhaseParams {
+        let center = self.center();
+        center.jittered(rng, jitter)
+    }
+
+    /// The canonical (center) parameters of the archetype.
+    pub fn center(self) -> PhaseParams {
+        match self {
+            Archetype::ScalarIlp => PhaseParams {
+                archetype: self,
+                ilp_chains: 16,
+                cross_chain_frac: 0.10,
+                load_frac: 0.18,
+                store_frac: 0.06,
+                branch_frac: 0.07,
+                fp_frac: 0.05,
+                mul_frac: 0.10,
+                div_frac: 0.001,
+                simd_frac: 0.02,
+                pointer_chase_frac: 0.0,
+                load_chain_frac: 0.2,
+                working_set_lines: 256,
+                spatial_locality: 0.85,
+                page_span: 8,
+                branch_taken_bias: 0.6,
+                branch_entropy: 0.03,
+                code_lines: 96,
+                burst_period: 0,
+                burst_serial_frac: 0.0,
+                burst_serial_chains: 2,
+            },
+            Archetype::DepChain => PhaseParams {
+                archetype: self,
+                ilp_chains: 2,
+                cross_chain_frac: 0.05,
+                load_frac: 0.15,
+                store_frac: 0.05,
+                branch_frac: 0.12,
+                fp_frac: 0.05,
+                mul_frac: 0.15,
+                div_frac: 0.002,
+                simd_frac: 0.0,
+                pointer_chase_frac: 0.05,
+                load_chain_frac: 0.7,
+                working_set_lines: 512,
+                spatial_locality: 0.7,
+                page_span: 16,
+                branch_taken_bias: 0.65,
+                branch_entropy: 0.08,
+                code_lines: 128,
+                burst_period: 0,
+                burst_serial_frac: 0.0,
+                burst_serial_chains: 2,
+            },
+            Archetype::MemBound => PhaseParams {
+                archetype: self,
+                ilp_chains: 5,
+                cross_chain_frac: 0.08,
+                load_frac: 0.32,
+                store_frac: 0.08,
+                branch_frac: 0.08,
+                fp_frac: 0.10,
+                mul_frac: 0.05,
+                div_frac: 0.0,
+                simd_frac: 0.0,
+                pointer_chase_frac: 0.10,
+                load_chain_frac: 0.3,
+                working_set_lines: 1 << 17, // 8 MiB: beyond LLC
+                spatial_locality: 0.15,
+                page_span: 2048,
+                branch_taken_bias: 0.7,
+                branch_entropy: 0.1,
+                code_lines: 64,
+                burst_period: 0,
+                burst_serial_frac: 0.0,
+                burst_serial_chains: 2,
+            },
+            Archetype::PointerChase => PhaseParams {
+                archetype: self,
+                ilp_chains: 3,
+                cross_chain_frac: 0.05,
+                load_frac: 0.35,
+                store_frac: 0.04,
+                branch_frac: 0.12,
+                fp_frac: 0.0,
+                mul_frac: 0.02,
+                div_frac: 0.0,
+                simd_frac: 0.0,
+                pointer_chase_frac: 0.30,
+                load_chain_frac: 0.3,
+                working_set_lines: 1 << 14,
+                spatial_locality: 0.05,
+                page_span: 512,
+                branch_taken_bias: 0.55,
+                branch_entropy: 0.2,
+                code_lines: 80,
+                burst_period: 0,
+                burst_serial_frac: 0.0,
+                burst_serial_chains: 2,
+            },
+            Archetype::Branchy => PhaseParams {
+                archetype: self,
+                ilp_chains: 4,
+                cross_chain_frac: 0.10,
+                load_frac: 0.18,
+                store_frac: 0.06,
+                branch_frac: 0.26,
+                fp_frac: 0.0,
+                mul_frac: 0.04,
+                div_frac: 0.0,
+                simd_frac: 0.0,
+                pointer_chase_frac: 0.05,
+                load_chain_frac: 0.3,
+                working_set_lines: 1024,
+                spatial_locality: 0.5,
+                page_span: 32,
+                branch_taken_bias: 0.5,
+                branch_entropy: 0.45,
+                code_lines: 256,
+                burst_period: 0,
+                burst_serial_frac: 0.0,
+                burst_serial_chains: 2,
+            },
+            Archetype::StreamFpWide => PhaseParams {
+                archetype: self,
+                ilp_chains: 30,
+                cross_chain_frac: 0.06,
+                load_frac: 0.24,
+                store_frac: 0.08,
+                branch_frac: 0.06,
+                fp_frac: 0.85,
+                mul_frac: 0.0,
+                div_frac: 0.002,
+                simd_frac: 0.05,
+                pointer_chase_frac: 0.0,
+                load_chain_frac: 0.0,
+                working_set_lines: 1 << 12, // 256 KiB streamed
+                spatial_locality: 0.995,
+                page_span: 64,
+                branch_taken_bias: 0.88,
+                branch_entropy: 0.04,
+                code_lines: 48,
+                burst_period: 2000,
+                burst_serial_frac: 0.10,
+                burst_serial_chains: 2,
+            },
+            Archetype::StreamFpChain => PhaseParams {
+                archetype: self,
+                // The blindspot twin: identical profile except dependence
+                // structure (recurrences instead of independent lanes).
+                ilp_chains: 7,
+                cross_chain_frac: 0.06,
+                load_frac: 0.24,
+                store_frac: 0.08,
+                branch_frac: 0.06,
+                fp_frac: 0.85,
+                mul_frac: 0.0,
+                div_frac: 0.002,
+                simd_frac: 0.05,
+                pointer_chase_frac: 0.0,
+                load_chain_frac: 0.0,
+                working_set_lines: 1 << 12,
+                spatial_locality: 0.995,
+                page_span: 64,
+                branch_taken_bias: 0.88,
+                branch_entropy: 0.04,
+                code_lines: 48,
+                burst_period: 0,
+                burst_serial_frac: 0.0,
+                burst_serial_chains: 2,
+            },
+            Archetype::IcacheHeavy => PhaseParams {
+                archetype: self,
+                ilp_chains: 4,
+                cross_chain_frac: 0.12,
+                load_frac: 0.20,
+                store_frac: 0.08,
+                branch_frac: 0.18,
+                fp_frac: 0.02,
+                mul_frac: 0.05,
+                div_frac: 0.0,
+                simd_frac: 0.0,
+                pointer_chase_frac: 0.08,
+                load_chain_frac: 0.4,
+                working_set_lines: 4096,
+                spatial_locality: 0.6,
+                page_span: 128,
+                branch_taken_bias: 0.6,
+                branch_entropy: 0.15,
+                code_lines: 2048, // 128 KiB of code: L2-resident
+                burst_period: 0,
+                burst_serial_frac: 0.0,
+                burst_serial_chains: 2,
+            },
+            Archetype::StoreHeavy => PhaseParams {
+                archetype: self,
+                ilp_chains: 5,
+                cross_chain_frac: 0.08,
+                load_frac: 0.15,
+                store_frac: 0.24,
+                branch_frac: 0.08,
+                fp_frac: 0.05,
+                mul_frac: 0.05,
+                div_frac: 0.0,
+                simd_frac: 0.02,
+                pointer_chase_frac: 0.0,
+                load_chain_frac: 0.2,
+                working_set_lines: 1 << 12,
+                spatial_locality: 0.8,
+                page_span: 64,
+                branch_taken_bias: 0.7,
+                branch_entropy: 0.08,
+                code_lines: 96,
+                burst_period: 0,
+                burst_serial_frac: 0.0,
+                burst_serial_chains: 2,
+            },
+            Archetype::TlbThrash => PhaseParams {
+                archetype: self,
+                ilp_chains: 5,
+                cross_chain_frac: 0.06,
+                load_frac: 0.28,
+                store_frac: 0.06,
+                branch_frac: 0.08,
+                fp_frac: 0.05,
+                mul_frac: 0.04,
+                div_frac: 0.0,
+                simd_frac: 0.0,
+                pointer_chase_frac: 0.05,
+                load_chain_frac: 0.3,
+                working_set_lines: 2048, // L2-resident data...
+                spatial_locality: 0.1,
+                page_span: 2048, // ...scattered one line per page
+                branch_taken_bias: 0.65,
+                branch_entropy: 0.1,
+                code_lines: 72,
+                burst_period: 0,
+                burst_serial_frac: 0.0,
+                burst_serial_chains: 2,
+            },
+            Archetype::SimdKernel => PhaseParams {
+                archetype: self,
+                ilp_chains: 18,
+                cross_chain_frac: 0.05,
+                load_frac: 0.15,
+                store_frac: 0.08,
+                branch_frac: 0.05,
+                fp_frac: 0.20,
+                mul_frac: 0.0,
+                div_frac: 0.0,
+                simd_frac: 0.7,
+                pointer_chase_frac: 0.0,
+                load_chain_frac: 0.0,
+                working_set_lines: 1 << 10,
+                spatial_locality: 0.98,
+                page_span: 32,
+                branch_taken_bias: 0.9,
+                branch_entropy: 0.03,
+                code_lines: 40,
+                burst_period: 0,
+                burst_serial_frac: 0.0,
+                burst_serial_chains: 2,
+            },
+            Archetype::Balanced => PhaseParams {
+                archetype: self,
+                ilp_chains: 3,
+                cross_chain_frac: 0.10,
+                load_frac: 0.20,
+                store_frac: 0.08,
+                branch_frac: 0.12,
+                fp_frac: 0.15,
+                mul_frac: 0.06,
+                div_frac: 0.001,
+                simd_frac: 0.03,
+                pointer_chase_frac: 0.05,
+                load_chain_frac: 0.3,
+                working_set_lines: 2048,
+                spatial_locality: 0.6,
+                page_span: 48,
+                branch_taken_bias: 0.62,
+                branch_entropy: 0.12,
+                code_lines: 160,
+                burst_period: 0,
+                burst_serial_frac: 0.0,
+                burst_serial_chains: 2,
+            },
+        }
+    }
+}
+
+/// Concrete parameters of one phase, sampled from an [`Archetype`].
+///
+/// Fractions refer to the dynamic instruction stream; `ilp_chains` is the
+/// number of parallel register dependence chains the generator maintains —
+/// the dataflow ILP ceiling of the phase, and the single most important
+/// determinant of whether the 4-wide low-power mode meets the SLA.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseParams {
+    /// Archetype this phase was sampled from.
+    pub archetype: Archetype,
+    /// Number of parallel dependence chains (1..=16).
+    pub ilp_chains: u32,
+    /// Fraction of compute ops reading a second, different chain.
+    pub cross_chain_frac: f64,
+    /// Fraction of instructions that are loads.
+    pub load_frac: f64,
+    /// Fraction of instructions that are stores.
+    pub store_frac: f64,
+    /// Fraction of instructions that are branches.
+    pub branch_frac: f64,
+    /// Of compute ops, the fraction on the FP stack.
+    pub fp_frac: f64,
+    /// Of integer compute ops, the fraction that are multiplies.
+    pub mul_frac: f64,
+    /// Of compute ops, the fraction that are divides.
+    pub div_frac: f64,
+    /// Of compute ops, the fraction that are SIMD.
+    pub simd_frac: f64,
+    /// Of loads, the fraction whose address depends on a prior load.
+    pub pointer_chase_frac: f64,
+    /// Of non-chased loads, the fraction whose address depends on the
+    /// compute chain (serializing) rather than on independent induction
+    /// arithmetic (streaming).
+    pub load_chain_frac: f64,
+    /// Distinct 64-byte data lines in the working set.
+    pub working_set_lines: u64,
+    /// Probability the next access is sequential rather than random.
+    pub spatial_locality: f64,
+    /// Distinct 4-KiB pages the working set spans.
+    pub page_span: u64,
+    /// Probability a conditional branch is taken.
+    pub branch_taken_bias: f64,
+    /// Branch outcome irregularity: 0 = deterministic, 1 = coin flip.
+    pub branch_entropy: f64,
+    /// Distinct 64-byte instruction lines (code footprint).
+    pub code_lines: u64,
+    /// Intra-phase burst period in instructions (0 = uniform behaviour).
+    ///
+    /// Bursty phases alternate between a wide region using all
+    /// `ilp_chains` chains and a serial region using `burst_serial_chains`
+    /// — the shape of loop nests that mix vectorizable inner loops with
+    /// serial reductions. Burstiness is what makes a phase width-sensitive
+    /// at a *moderate average IPC*.
+    pub burst_period: u64,
+    /// Fraction of the burst period spent in the serial region.
+    pub burst_serial_frac: f64,
+    /// Chain count of the serial region.
+    pub burst_serial_chains: u32,
+}
+
+impl PhaseParams {
+    /// Returns a jittered copy: each field wanders multiplicatively by up to
+    /// `±jitter` (fractions are clamped to valid ranges).
+    pub fn jittered<R: Rng>(&self, rng: &mut R, jitter: f64) -> PhaseParams {
+        let mut p = *self;
+        let mut jf = |v: f64| -> f64 {
+            let f = 1.0 + jitter * (rng.gen::<f64>() * 2.0 - 1.0);
+            v * f
+        };
+        p.cross_chain_frac = jf(p.cross_chain_frac).clamp(0.0, 0.5);
+        p.load_frac = jf(p.load_frac).clamp(0.0, 0.45);
+        p.store_frac = jf(p.store_frac).clamp(0.0, 0.35);
+        p.branch_frac = jf(p.branch_frac).clamp(0.0, 0.35);
+        p.fp_frac = jf(p.fp_frac).clamp(0.0, 1.0);
+        p.mul_frac = jf(p.mul_frac).clamp(0.0, 0.5);
+        p.div_frac = jf(p.div_frac).clamp(0.0, 0.05);
+        p.simd_frac = jf(p.simd_frac).clamp(0.0, 0.9);
+        p.pointer_chase_frac = jf(p.pointer_chase_frac).clamp(0.0, 0.95);
+        p.load_chain_frac = jf(p.load_chain_frac).clamp(0.0, 1.0);
+        p.spatial_locality = jf(p.spatial_locality).clamp(0.0, 0.99);
+        p.branch_taken_bias = jf(p.branch_taken_bias).clamp(0.05, 0.95);
+        p.branch_entropy = jf(p.branch_entropy).clamp(0.0, 1.0);
+        let ji = |v: u64, rng: &mut R| -> u64 {
+            let f = 1.0 + jitter * (rng.gen::<f64>() * 2.0 - 1.0);
+            ((v as f64 * f).round() as u64).max(1)
+        };
+        p.working_set_lines = ji(p.working_set_lines, rng);
+        // Keep at most 64 lines per page (the generator's in-page slot
+        // space), and never more pages than lines.
+        p.page_span = ji(p.page_span, rng)
+            .clamp(p.working_set_lines.div_ceil(64), p.working_set_lines.max(1));
+        p.code_lines = ji(p.code_lines, rng).max(4);
+        let fc = 1.0 + jitter * (rng.gen::<f64>() * 2.0 - 1.0);
+        p.ilp_chains = ((p.ilp_chains as f64 * fc).round() as u32).clamp(1, 32);
+        if p.burst_period > 0 {
+            let f = 1.0 + jitter * (rng.gen::<f64>() * 2.0 - 1.0);
+            p.burst_period = ((p.burst_period as f64 * f).round() as u64).max(64);
+            let f = 1.0 + jitter * (rng.gen::<f64>() * 2.0 - 1.0);
+            p.burst_serial_frac = (p.burst_serial_frac * f).clamp(0.05, 0.9);
+        }
+        p
+    }
+
+    /// Fraction of instructions that are compute (not memory or branch).
+    pub fn compute_frac(&self) -> f64 {
+        (1.0 - self.load_frac - self.store_frac - self.branch_frac).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn centers_are_valid() {
+        for a in Archetype::ALL {
+            let p = a.center();
+            assert!(p.load_frac + p.store_frac + p.branch_frac < 1.0, "{a:?}");
+            assert!(p.ilp_chains >= 1 && p.ilp_chains <= 32, "{a:?}");
+            assert!(p.working_set_lines >= 1, "{a:?}");
+            assert!(p.page_span >= 1, "{a:?}");
+            assert!(p.compute_frac() > 0.0, "{a:?}");
+        }
+    }
+
+    #[test]
+    fn blindspot_pair_differs_only_in_dependence_structure() {
+        let wide = Archetype::StreamFpWide.center();
+        let chain = Archetype::StreamFpChain.center();
+        assert_ne!(wide.ilp_chains, chain.ilp_chains);
+        assert_eq!(wide.load_frac, chain.load_frac);
+        assert_eq!(wide.store_frac, chain.store_frac);
+        assert_eq!(wide.branch_frac, chain.branch_frac);
+        assert_eq!(wide.working_set_lines, chain.working_set_lines);
+        assert_eq!(wide.branch_entropy, chain.branch_entropy);
+        assert_eq!(wide.code_lines, chain.code_lines);
+    }
+
+    #[test]
+    fn jitter_stays_in_valid_ranges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for a in Archetype::ALL {
+            for _ in 0..50 {
+                let p = a.sample_params(&mut rng, 0.5);
+                assert!(p.load_frac >= 0.0 && p.load_frac <= 0.45);
+                assert!(p.branch_taken_bias >= 0.05 && p.branch_taken_bias <= 0.95);
+                assert!(p.ilp_chains >= 1 && p.ilp_chains <= 32);
+                assert!(p.page_span <= p.working_set_lines.max(1));
+                assert!(p.code_lines >= 4);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_jitter_is_identity_for_fractions() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let c = Archetype::Balanced.center();
+        let p = c.jittered(&mut rng, 0.0);
+        assert_eq!(p, c);
+    }
+
+    #[test]
+    fn jitter_produces_diversity() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Archetype::Balanced.sample_params(&mut rng, 0.4);
+        let b = Archetype::Balanced.sample_params(&mut rng, 0.4);
+        assert_ne!(a, b);
+    }
+}

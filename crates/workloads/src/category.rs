@@ -1,0 +1,211 @@
+//! Application categories of the HDTR corpus (Table 1).
+
+use crate::archetype::Archetype;
+
+/// One of the six application categories the paper's training corpus spans
+/// (Table 1: HPC & performance, cloud & security, AI & analytics, web &
+/// productivity, multimedia, games/rendering/augmented reality).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Category {
+    /// High-performance computing and performance benchmarks (server).
+    HpcPerf,
+    /// Cloud and security workloads (server).
+    CloudSecurity,
+    /// AI and data analytics (server).
+    AiAnalytics,
+    /// Web browsers and productivity tools (client).
+    WebProductivity,
+    /// Multimedia (client).
+    Multimedia,
+    /// Games, rendering, and augmented reality (client).
+    GamesRendering,
+}
+
+impl Category {
+    /// All categories in Table 1 order.
+    pub const ALL: [Category; 6] = [
+        Category::HpcPerf,
+        Category::CloudSecurity,
+        Category::AiAnalytics,
+        Category::WebProductivity,
+        Category::Multimedia,
+        Category::GamesRendering,
+    ];
+
+    /// Table 1 application counts per category (sums to 593).
+    pub const PAPER_APP_COUNTS: [usize; 6] = [176, 75, 34, 171, 80, 57];
+
+    /// Human-readable name matching Table 1.
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::HpcPerf => "HPC & Perf.",
+            Category::CloudSecurity => "Cloud & Security",
+            Category::AiAnalytics => "AI & Analytics",
+            Category::WebProductivity => "Web & Productivity",
+            Category::Multimedia => "Multimedia",
+            Category::GamesRendering => "Games, Rendering & Aug. Reality",
+        }
+    }
+
+    /// Whether the category is a server category in Table 1.
+    pub fn is_server(self) -> bool {
+        matches!(
+            self,
+            Category::HpcPerf | Category::CloudSecurity | Category::AiAnalytics
+        )
+    }
+
+    /// Archetype sampling weights for applications in this category.
+    ///
+    /// Weights encode which behaviours each category is rich in. Note that
+    /// [`Archetype::StreamFpWide`] — the wide half of the blindspot pair —
+    /// is *rare everywhere*: real client/server corpora contain little
+    /// wide-vector HPC-style FP streaming, which is exactly why SPEC FP
+    /// benchmarks fall into an expert-counter blindspot (§7.1).
+    pub fn archetype_weights(self) -> [(Archetype, f64); 12] {
+        use Archetype::*;
+        let w = match self {
+            Category::HpcPerf => [
+                (ScalarIlp, 1.5),
+                (DepChain, 1.0),
+                (MemBound, 1.5),
+                (PointerChase, 0.5),
+                (Branchy, 0.5),
+                (StreamFpWide, 0.15),
+                (StreamFpChain, 1.5),
+                (IcacheHeavy, 0.3),
+                (StoreHeavy, 0.7),
+                (TlbThrash, 0.7),
+                (SimdKernel, 1.0),
+                (Balanced, 1.0),
+            ],
+            Category::CloudSecurity => [
+                (ScalarIlp, 1.0),
+                (DepChain, 1.3),
+                (MemBound, 1.2),
+                (PointerChase, 1.5),
+                (Branchy, 1.2),
+                (StreamFpWide, 0.01),
+                (StreamFpChain, 0.3),
+                (IcacheHeavy, 1.5),
+                (StoreHeavy, 1.0),
+                (TlbThrash, 1.0),
+                (SimdKernel, 0.4),
+                (Balanced, 1.2),
+            ],
+            Category::AiAnalytics => [
+                (ScalarIlp, 1.0),
+                (DepChain, 0.7),
+                (MemBound, 1.5),
+                (PointerChase, 1.0),
+                (Branchy, 0.5),
+                (StreamFpWide, 0.10),
+                (StreamFpChain, 1.0),
+                (IcacheHeavy, 0.4),
+                (StoreHeavy, 0.8),
+                (TlbThrash, 0.8),
+                (SimdKernel, 1.8),
+                (Balanced, 0.8),
+            ],
+            Category::WebProductivity => [
+                (ScalarIlp, 0.8),
+                (DepChain, 1.5),
+                (MemBound, 0.8),
+                (PointerChase, 1.8),
+                (Branchy, 1.8),
+                (StreamFpWide, 0.01),
+                (StreamFpChain, 0.1),
+                (IcacheHeavy, 1.8),
+                (StoreHeavy, 1.0),
+                (TlbThrash, 0.6),
+                (SimdKernel, 0.2),
+                (Balanced, 1.3),
+            ],
+            Category::Multimedia => [
+                (ScalarIlp, 1.2),
+                (DepChain, 0.8),
+                (MemBound, 0.8),
+                (PointerChase, 0.5),
+                (Branchy, 0.6),
+                (StreamFpWide, 0.06),
+                (StreamFpChain, 0.8),
+                (IcacheHeavy, 0.5),
+                (StoreHeavy, 1.2),
+                (TlbThrash, 0.4),
+                (SimdKernel, 2.0),
+                (Balanced, 1.0),
+            ],
+            Category::GamesRendering => [
+                (ScalarIlp, 1.3),
+                (DepChain, 0.8),
+                (MemBound, 1.0),
+                (PointerChase, 1.0),
+                (Branchy, 1.0),
+                (StreamFpWide, 0.06),
+                (StreamFpChain, 0.9),
+                (IcacheHeavy, 0.8),
+                (StoreHeavy, 1.0),
+                (TlbThrash, 0.5),
+                (SimdKernel, 1.5),
+                (Balanced, 1.0),
+            ],
+        };
+        w
+    }
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_counts_sum_to_593() {
+        assert_eq!(Category::PAPER_APP_COUNTS.iter().sum::<usize>(), 593);
+    }
+
+    #[test]
+    fn weights_cover_all_archetypes_positively() {
+        for c in Category::ALL {
+            let w = c.archetype_weights();
+            assert_eq!(w.len(), Archetype::ALL.len());
+            for (a, wt) in w {
+                assert!(wt > 0.0, "{c:?}/{a:?}");
+            }
+            let set: std::collections::HashSet<_> = w.iter().map(|(a, _)| *a).collect();
+            assert_eq!(set.len(), Archetype::ALL.len());
+        }
+    }
+
+    #[test]
+    fn stream_fp_wide_is_rare_everywhere() {
+        for c in Category::ALL {
+            let w = c.archetype_weights();
+            let total: f64 = w.iter().map(|(_, x)| x).sum();
+            let wide = w
+                .iter()
+                .find(|(a, _)| *a == Archetype::StreamFpWide)
+                .unwrap()
+                .1;
+            assert!(wide / total < 0.05, "{c:?} over-represents the blindspot");
+        }
+    }
+
+    #[test]
+    fn server_client_split_matches_table1() {
+        assert!(Category::HpcPerf.is_server());
+        assert!(!Category::Multimedia.is_server());
+        let server: usize = Category::ALL
+            .iter()
+            .zip(Category::PAPER_APP_COUNTS)
+            .filter(|(c, _)| c.is_server())
+            .map(|(_, n)| n)
+            .sum();
+        assert_eq!(server, 285);
+    }
+}

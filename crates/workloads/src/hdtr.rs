@@ -1,0 +1,183 @@
+//! The high-diversity training corpus (HDTR) builder.
+//!
+//! The paper's HDTR set spans 2,648 traces of 593 applications over six
+//! categories (Table 1). [`hdtr_corpus`] synthesizes a corpus with the same
+//! category proportions at any scale, so the training-set-diversity
+//! experiments (Figure 4) can sweep corpus size directly.
+
+use crate::app::ApplicationModel;
+use crate::category::Category;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Composition summary of a generated corpus, mirroring Table 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HdtrComposition {
+    /// `(category, application count)` in Table 1 order.
+    pub per_category: Vec<(Category, usize)>,
+    /// Total applications.
+    pub total_apps: usize,
+    /// Total traces (workload recordings) across all applications.
+    pub total_traces: usize,
+}
+
+impl std::fmt::Display for HdtrComposition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "HDTR corpus: {} traces of {} applications",
+            self.total_traces, self.total_apps
+        )?;
+        for (c, n) in &self.per_category {
+            writeln!(f, "  {:35} {:>5}", c.name(), n)?;
+        }
+        Ok(())
+    }
+}
+
+/// An application in the HDTR corpus together with its trace inputs.
+#[derive(Debug, Clone)]
+pub struct HdtrApp {
+    /// The application model.
+    pub app: ApplicationModel,
+    /// Input seeds — one per recorded trace of this application.
+    pub inputs: Vec<u64>,
+}
+
+/// Builds an HDTR-like corpus with `total_apps` applications distributed
+/// over the six categories in Table 1 proportions.
+///
+/// Each application gets 2–8 trace inputs (averaging ≈4.5, matching the
+/// paper's 2,648 / 593). `mean_phase_len` sets phase dwell in instructions.
+///
+/// # Panics
+/// Panics if `total_apps == 0`.
+pub fn hdtr_corpus(seed: u64, total_apps: usize, mean_phase_len: u64) -> Vec<HdtrApp> {
+    assert!(total_apps > 0, "corpus must contain at least one application");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let paper_total: usize = Category::PAPER_APP_COUNTS.iter().sum();
+    let mut corpus = Vec::with_capacity(total_apps);
+    let mut assigned = 0usize;
+    for (ci, cat) in Category::ALL.iter().enumerate() {
+        // Largest-remainder style proportional allocation.
+        let share = Category::PAPER_APP_COUNTS[ci] * total_apps;
+        let n = if ci == Category::ALL.len() - 1 {
+            total_apps - assigned
+        } else {
+            (share + paper_total / 2) / paper_total
+        };
+        let n = n.min(total_apps - assigned);
+        for k in 0..n {
+            let app_seed: u64 = rng.gen();
+            let name = format!("{}-{k:03}", cat_slug(*cat));
+            let app = ApplicationModel::synth(name, *cat, app_seed, mean_phase_len);
+            let n_traces = rng.gen_range(2..=8usize);
+            let inputs = (0..n_traces as u64).map(|i| i + 1).collect();
+            corpus.push(HdtrApp { app, inputs });
+        }
+        assigned += n;
+    }
+    // If rounding under-allocated (can happen for tiny corpora), top up
+    // from the largest category.
+    let mut k = corpus.len();
+    while corpus.len() < total_apps {
+        let app_seed: u64 = rng.gen();
+        let name = format!("hpc-extra-{k:03}");
+        let app = ApplicationModel::synth(name, Category::HpcPerf, app_seed, mean_phase_len);
+        corpus.push(HdtrApp {
+            app,
+            inputs: vec![1, 2, 3],
+        });
+        k += 1;
+    }
+    corpus.truncate(total_apps);
+    corpus
+}
+
+/// Summarizes a corpus in Table 1 form.
+pub fn composition(corpus: &[HdtrApp]) -> HdtrComposition {
+    let per_category = Category::ALL
+        .iter()
+        .map(|c| {
+            (
+                *c,
+                corpus.iter().filter(|a| a.app.category() == *c).count(),
+            )
+        })
+        .collect();
+    HdtrComposition {
+        per_category,
+        total_apps: corpus.len(),
+        total_traces: corpus.iter().map(|a| a.inputs.len()).sum(),
+    }
+}
+
+fn cat_slug(c: Category) -> &'static str {
+    match c {
+        Category::HpcPerf => "hpc",
+        Category::CloudSecurity => "cloud",
+        Category::AiAnalytics => "ai",
+        Category::WebProductivity => "web",
+        Category::Multimedia => "media",
+        Category::GamesRendering => "games",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_requested_size() {
+        let corpus = hdtr_corpus(1, 60, 2000);
+        assert_eq!(corpus.len(), 60);
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = hdtr_corpus(5, 30, 2000);
+        let b = hdtr_corpus(5, 30, 2000);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.app.name(), y.app.name());
+            assert_eq!(x.app.phases(), y.app.phases());
+            assert_eq!(x.inputs, y.inputs);
+        }
+    }
+
+    #[test]
+    fn category_proportions_match_table1() {
+        let corpus = hdtr_corpus(2, 593, 2000);
+        let comp = composition(&corpus);
+        assert_eq!(comp.total_apps, 593);
+        for ((_, n), &paper) in comp
+            .per_category
+            .iter()
+            .zip(Category::PAPER_APP_COUNTS.iter())
+        {
+            let diff = (*n as i64 - paper as i64).abs();
+            assert!(diff <= 3, "category count {n} vs paper {paper}");
+        }
+    }
+
+    #[test]
+    fn traces_average_about_4_5_per_app() {
+        let corpus = hdtr_corpus(3, 200, 2000);
+        let comp = composition(&corpus);
+        let avg = comp.total_traces as f64 / comp.total_apps as f64;
+        assert!((3.5..=5.5).contains(&avg), "avg traces/app = {avg}");
+    }
+
+    #[test]
+    fn app_names_are_unique() {
+        let corpus = hdtr_corpus(4, 100, 2000);
+        let names: std::collections::HashSet<_> =
+            corpus.iter().map(|a| a.app.name().to_string()).collect();
+        assert_eq!(names.len(), corpus.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one application")]
+    fn empty_corpus_rejected() {
+        let _ = hdtr_corpus(0, 0, 1000);
+    }
+}

@@ -1,0 +1,38 @@
+//! # psca-workloads
+//!
+//! Synthetic workload substrate for the PSCA reproduction.
+//!
+//! The paper trains on a proprietary corpus of 2,648 traces from 593 real
+//! client and server applications (the high-diversity training set, HDTR;
+//! Table 1) and tests on SPEC CPU 2017 traced over 118 workloads / 571
+//! SimPoints (Table 2). Neither corpus can be redistributed, so this crate
+//! *synthesizes* statistically analogous workloads (see `DESIGN.md` §1):
+//!
+//! - [`Archetype`] — ~a dozen phase behaviour families (dependence-chained,
+//!   wide-ILP, memory-bound, pointer-chasing, branchy, streaming FP, …)
+//!   whose parameters determine how a phase responds to issue width, and
+//!   therefore whether the low-power (4-wide) mode meets the SLA;
+//! - [`PhaseParams`] / [`PhaseGenerator`] — concrete sampled phases and the
+//!   instruction synthesizer that realizes them as a `psca_trace` stream;
+//! - [`ApplicationModel`] — a Markov chain over phases with per-application
+//!   parameter jitter; one application × one input seed = one *workload*,
+//!   matching the paper's definition (§4.1);
+//! - [`Category`] and [`hdtr_corpus`] — the six application categories of
+//!   Table 1 with their archetype priors, and the HDTR corpus builder;
+//! - [`spec`] — the 20 named SPEC2017-like benchmarks of Table 2, with the
+//!   paper's per-benchmark workload counts and SimPoint schedule.
+
+#![warn(missing_docs)]
+
+mod app;
+mod archetype;
+mod category;
+mod hdtr;
+mod phasegen;
+pub mod spec;
+
+pub use app::{AppTrace, ApplicationModel};
+pub use archetype::{Archetype, PhaseParams};
+pub use category::Category;
+pub use hdtr::{composition, hdtr_corpus, HdtrApp, HdtrComposition};
+pub use phasegen::PhaseGenerator;

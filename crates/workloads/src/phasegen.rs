@@ -1,0 +1,417 @@
+//! The phase instruction synthesizer.
+//!
+//! [`PhaseGenerator`] turns a [`PhaseParams`] into a deterministic stream of
+//! dynamic instructions whose dataflow, memory, and branch structure realize
+//! the phase's promised behaviour. The generator is the bridge between the
+//! statistical workload models and the structural CPU simulator: nothing
+//! downstream ever sees the parameters, only the instruction stream.
+
+use crate::archetype::PhaseParams;
+use psca_trace::{BranchInfo, Instruction, MemRef, OpClass, Reg, TraceSource};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Base virtual address of the synthetic data segment.
+const DATA_BASE: u64 = 0x1000_0000;
+/// Base virtual address of the synthetic code segment.
+const CODE_BASE: u64 = 0x0040_0000;
+
+/// Number of rotating scratch registers receiving load results.
+const SCRATCH_REGS: usize = 4;
+
+/// Streams instructions realizing one phase.
+///
+/// Dependence structure: the generator maintains `ilp_chains` register
+/// chains (integer chains in `r8..`, FP chains in `f0..`). Each compute
+/// instruction extends one chain round-robin, reading the chain's last
+/// destination — so the dataflow ILP ceiling equals the chain count.
+/// Loads feed chains; pointer-chasing loads feed their own address.
+///
+/// # Examples
+///
+/// ```
+/// use psca_workloads::{Archetype, PhaseGenerator};
+/// use psca_trace::TraceSource;
+///
+/// let params = Archetype::DepChain.center();
+/// let mut gen = PhaseGenerator::new(params, 42);
+/// let inst = gen.next_instruction().unwrap();
+/// assert!(inst.is_well_formed());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PhaseGenerator {
+    params: PhaseParams,
+    rng: StdRng,
+    /// Last destination register of each chain.
+    chain_regs: Vec<Reg>,
+    /// Next chain to extend.
+    chain_cursor: usize,
+    /// Pointer register for chased loads.
+    ptr_reg: Reg,
+    /// Scratch registers receiving load results.
+    scratch_regs: [Reg; SCRATCH_REGS],
+    /// Rotating cursor over the scratch registers.
+    scratch_cursor: usize,
+    /// Current sequential data cursor (line index within working set).
+    data_line: u64,
+    /// Byte-granular streaming cursor within the working set.
+    data_byte: u64,
+    /// Current code line index.
+    code_line: u64,
+    /// Sub-line instruction slot (for PC generation).
+    code_slot: u64,
+    /// Per-branch-site deterministic outcome pattern phase.
+    branch_phase: u64,
+    /// Instructions emitted so far (drives burst alternation).
+    emitted: u64,
+}
+
+impl PhaseGenerator {
+    /// Creates a generator for the given phase with a deterministic seed.
+    pub fn new(params: PhaseParams, seed: u64) -> PhaseGenerator {
+        let n = (params.ilp_chains as usize).min(32);
+        let chain_regs = (0..n)
+            .map(|i| {
+                // Chains span both register banks so up to 32 distinct
+                // chains exist; FP-heavy phases fill the FP bank first so
+                // low chain counts stay on the FP stack.
+                let (first_fp, i) = (params.fp_frac > 0.5, i);
+                match (first_fp, i < 16) {
+                    (true, true) => Reg::fp(i as u8),
+                    (true, false) => Reg::int((8 + (i - 16)) as u8),
+                    (false, true) => Reg::int((8 + i) as u8),
+                    (false, false) => Reg::fp((i - 16) as u8),
+                }
+            })
+            .collect();
+        PhaseGenerator {
+            params,
+            rng: StdRng::seed_from_u64(seed),
+            chain_regs,
+            chain_cursor: 0,
+            ptr_reg: Reg::int(24),
+            scratch_regs: [Reg::int(0), Reg::int(1), Reg::int(2), Reg::int(3)],
+            scratch_cursor: 0,
+            data_line: 0,
+            data_byte: 0,
+            code_line: 0,
+            code_slot: 0,
+            branch_phase: 0,
+            emitted: 0,
+        }
+    }
+
+    /// The phase parameters this generator realizes.
+    pub fn params(&self) -> &PhaseParams {
+        &self.params
+    }
+
+    /// Current program counter.
+    fn pc(&self) -> u64 {
+        CODE_BASE + self.code_line * 64 + (self.code_slot % 16) * 4
+    }
+
+    /// Advances the PC: walk the code footprint sequentially, wrapping.
+    fn advance_pc(&mut self) {
+        self.code_slot += 1;
+        if self.code_slot % 16 == 0 {
+            self.code_line = (self.code_line + 1) % self.params.code_lines;
+        }
+    }
+
+    /// Picks the next data address according to locality parameters.
+    ///
+    /// Sequential accesses advance 8 bytes at a time (streaming through a
+    /// cache line touches it 8 times, as real element-wise kernels do);
+    /// non-sequential accesses jump to a random line in the working set.
+    fn next_data_addr(&mut self) -> u64 {
+        let ws = self.params.working_set_lines.max(1);
+        if self.rng.gen::<f64>() < self.params.spatial_locality {
+            self.data_byte = (self.data_byte + 8) % (ws * 64);
+        } else {
+            self.data_line = self.rng.gen_range(0..ws);
+            self.data_byte = self.data_line * 64 + self.rng.gen_range(0..8) * 8;
+        }
+        let line = self.data_byte / 64;
+        self.line_to_addr(line) + self.data_byte % 64
+    }
+
+    /// Maps a working-set line index to a virtual address spread over the
+    /// configured page span.
+    ///
+    /// Consecutive lines share a page (so sequential streams have page
+    /// locality); a per-page salt staggers the in-page slot so that sparse
+    /// pages do not alias onto a few cache sets.
+    fn line_to_addr(&self, line: u64) -> u64 {
+        let ws = self.params.working_set_lines.max(1);
+        let pages = self.params.page_span.max(1);
+        let lpp = ws.div_ceil(pages).clamp(1, 64);
+        let page = (line / lpp) % pages;
+        // The per-page slot salt must be *hashed*: a linear salt like
+        // `page * k % 64` aliases with the page's low bits and collapses
+        // sparse-page working sets onto a handful of cache sets.
+        let salt = (page.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58) % 64;
+        let slot = (line % lpp + salt) % 64;
+        DATA_BASE + page * 4096 + slot * 64
+    }
+
+    /// Number of chains active at the current position (bursty phases
+    /// alternate between wide and serial regions).
+    fn active_chains(&self) -> usize {
+        let p = &self.params;
+        if p.burst_period == 0 {
+            return self.chain_regs.len();
+        }
+        let pos = self.emitted % p.burst_period;
+        let wide_len =
+            ((1.0 - p.burst_serial_frac) * p.burst_period as f64).round() as u64;
+        if pos < wide_len {
+            self.chain_regs.len()
+        } else {
+            (p.burst_serial_chains as usize).clamp(1, self.chain_regs.len())
+        }
+    }
+
+    /// Next chain register, round-robin over the active chains, returning
+    /// `(read, write)` regs.
+    fn next_chain(&mut self) -> (Reg, Reg) {
+        let n = self.active_chains();
+        let c = self.chain_cursor % n;
+        self.chain_cursor = (self.chain_cursor + 1) % n;
+        let r = self.chain_regs[c];
+        (r, r)
+    }
+
+    /// A register from a different chain, for cross-chain reads.
+    fn other_chain(&mut self) -> Option<Reg> {
+        if self.chain_regs.len() < 2 {
+            return None;
+        }
+        let c = self.rng.gen_range(0..self.chain_regs.len());
+        Some(self.chain_regs[c])
+    }
+
+    fn gen_compute(&mut self) -> Instruction {
+        let p = self.params;
+        let (src, dst) = self.next_chain();
+        // Second operand: occasionally another chain (coupling), else a
+        // recently-loaded value (recurrences like `acc += a[i] * b` read
+        // the load result but the dependence chain flows through `acc`).
+        let second = if self.rng.gen::<f64>() < p.cross_chain_frac {
+            self.other_chain()
+        } else if self.rng.gen::<f64>() < 0.5 {
+            Some(self.scratch_regs[self.scratch_cursor % SCRATCH_REGS])
+        } else {
+            None
+        };
+        let u: f64 = self.rng.gen();
+        let op = if u < p.simd_frac {
+            if self.rng.gen::<f64>() < p.fp_frac {
+                OpClass::SimdFp
+            } else {
+                OpClass::SimdInt
+            }
+        } else if self.rng.gen::<f64>() < p.div_frac {
+            if self.rng.gen::<f64>() < p.fp_frac {
+                OpClass::FpDiv
+            } else {
+                OpClass::IntDiv
+            }
+        } else if self.rng.gen::<f64>() < p.fp_frac {
+            match self.rng.gen_range(0..3) {
+                0 => OpClass::FpAdd,
+                1 => OpClass::FpMul,
+                _ => OpClass::FpFma,
+            }
+        } else if self.rng.gen::<f64>() < p.mul_frac {
+            OpClass::IntMul
+        } else {
+            OpClass::IntAlu
+        };
+        Instruction::alu(op, Some(dst), [Some(src), second])
+    }
+
+    fn gen_load(&mut self) -> Instruction {
+        let p = self.params;
+        if self.rng.gen::<f64>() < p.pointer_chase_frac {
+            // Chased load: address depends on the previous chased load's
+            // result; the loaded value becomes the next pointer.
+            let ws = p.working_set_lines.max(1);
+            let line = self.rng.gen_range(0..ws);
+            let addr = self.line_to_addr(line);
+            Instruction::load(self.ptr_reg, Some(self.ptr_reg), MemRef::new(addr, 8))
+        } else {
+            let addr = self.next_data_addr();
+            // Loads land in scratch registers (they feed chains as second
+            // operands, they do not restart them). With probability
+            // `load_chain_frac` the *address* depends on the chain (index
+            // arithmetic in the dependence path — serial code); otherwise
+            // the address comes from independent induction arithmetic.
+            self.scratch_cursor = self.scratch_cursor.wrapping_add(1);
+            let dst = self.scratch_regs[self.scratch_cursor % SCRATCH_REGS];
+            let idx = if self.rng.gen::<f64>() < p.load_chain_frac {
+                let (src, _) = self.next_chain();
+                Some(src)
+            } else {
+                None
+            };
+            Instruction::load(dst, idx, MemRef::new(addr, 8))
+        }
+    }
+
+    fn gen_store(&mut self) -> Instruction {
+        let addr = self.next_data_addr();
+        let (src, _) = self.next_chain();
+        Instruction::store(Some(src), None, MemRef::new(addr, 8))
+    }
+
+    fn gen_branch(&mut self) -> (Instruction, u64) {
+        let p = self.params;
+        self.branch_phase = self.branch_phase.wrapping_add(1);
+        // Each branch site has a dominant direction (learnable by the
+        // direction predictor) plus an entropy-controlled random component
+        // (not learnable) — matching how biased real branches behave.
+        let taken = if self.rng.gen::<f64>() < p.branch_entropy {
+            self.rng.gen::<f64>() < p.branch_taken_bias
+        } else {
+            p.branch_taken_bias >= 0.5
+        };
+        // One stable branch site per code line: real code has a bounded set
+        // of static branch PCs, which is what makes direction prediction
+        // learnable at all.
+        let site_pc = CODE_BASE + self.code_line * 64 + 60;
+        let target = if taken {
+            // Backward branch to a small set of stable targets.
+            CODE_BASE + (self.branch_phase % 4) * 64
+        } else {
+            site_pc + 4
+        };
+        // Branches resolve off cheap induction arithmetic, not the FP/data
+        // chains, so they complete quickly (sources: none).
+        let inst = if self.rng.gen::<f64>() < 0.03 {
+            // Indirect branches rotate among a small target set; the BTB
+            // mispredicts only when the target changed since last visit.
+            Instruction::indirect_branch(None, BranchInfo::new(taken, target))
+        } else {
+            Instruction::cond_branch([None, None], BranchInfo::new(taken, target))
+        };
+        (inst, site_pc)
+    }
+}
+
+impl TraceSource for PhaseGenerator {
+    fn next_instruction(&mut self) -> Option<Instruction> {
+        let p = self.params;
+        let u: f64 = self.rng.gen();
+        let (inst, pc) = if u < p.load_frac {
+            (self.gen_load(), self.pc())
+        } else if u < p.load_frac + p.store_frac {
+            (self.gen_store(), self.pc())
+        } else if u < p.load_frac + p.store_frac + p.branch_frac {
+            self.gen_branch()
+        } else {
+            (self.gen_compute(), self.pc())
+        };
+        self.advance_pc();
+        self.emitted += 1;
+        Some(inst.at_pc(pc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archetype::Archetype;
+    use psca_trace::TraceStats;
+
+    fn stats_for(a: Archetype, n: u64) -> TraceStats {
+        let mut g = PhaseGenerator::new(a.center(), 7);
+        let mut stats = TraceStats::default();
+        for _ in 0..n {
+            stats.observe(&g.next_instruction().unwrap());
+        }
+        stats
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let p = Archetype::Balanced.center();
+        let mut a = PhaseGenerator::new(p, 5);
+        let mut b = PhaseGenerator::new(p, 5);
+        for _ in 0..500 {
+            assert_eq!(a.next_instruction(), b.next_instruction());
+        }
+    }
+
+    #[test]
+    fn generated_instructions_are_well_formed() {
+        for a in Archetype::ALL {
+            let mut g = PhaseGenerator::new(a.center(), 3);
+            for _ in 0..2000 {
+                let inst = g.next_instruction().unwrap();
+                assert!(inst.is_well_formed(), "{a:?}: {inst:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn mix_matches_params_within_tolerance() {
+        for a in [Archetype::MemBound, Archetype::Branchy, Archetype::StoreHeavy] {
+            let p = a.center();
+            let stats = stats_for(a, 50_000);
+            let loads = stats.fraction(psca_trace::OpClass::Load);
+            assert!(
+                (loads - p.load_frac).abs() < 0.02,
+                "{a:?}: loads {loads} vs {}",
+                p.load_frac
+            );
+            assert!(
+                (stats.branch_fraction() - p.branch_frac).abs() < 0.02,
+                "{a:?}: branches"
+            );
+        }
+    }
+
+    #[test]
+    fn fp_archetypes_emit_fp_ops() {
+        let stats = stats_for(Archetype::StreamFpWide, 20_000);
+        assert!(stats.fp_fraction() > 0.3, "fp fraction {}", stats.fp_fraction());
+    }
+
+    #[test]
+    fn working_set_respected() {
+        let mut p = Archetype::Balanced.center();
+        p.working_set_lines = 8;
+        p.page_span = 2;
+        let mut g = PhaseGenerator::new(p, 1);
+        let mut lines = std::collections::HashSet::new();
+        for _ in 0..5000 {
+            if let Some(m) = g.next_instruction().unwrap().mem {
+                lines.insert(m.addr >> 6);
+            }
+        }
+        // Non-chased accesses stay within ~8 lines; pointer chases may add
+        // a handful more, so allow modest slack.
+        assert!(lines.len() <= 16, "touched {} lines", lines.len());
+    }
+
+    #[test]
+    fn pc_stays_in_code_footprint() {
+        let p = Archetype::IcacheHeavy.center();
+        let mut g = PhaseGenerator::new(p, 2);
+        for _ in 0..10_000 {
+            let inst = g.next_instruction().unwrap();
+            let line = (inst.pc - CODE_BASE) / 64;
+            assert!(line < p.code_lines);
+        }
+    }
+
+    #[test]
+    fn blindspot_twins_have_matching_mixes() {
+        let w = stats_for(Archetype::StreamFpWide, 40_000);
+        let c = stats_for(Archetype::StreamFpChain, 40_000);
+        assert!((w.mem_fraction() - c.mem_fraction()).abs() < 0.02);
+        assert!((w.branch_fraction() - c.branch_fraction()).abs() < 0.02);
+        assert!((w.fp_fraction() - c.fp_fraction()).abs() < 0.05);
+    }
+}

@@ -1,0 +1,64 @@
+//! Quickstart: build a tiny training corpus, train the paper's Best RF
+//! adaptation model, and run the adaptive CPU closed-loop on a new
+//! workload — the full Figure 1 pipeline in ~50 lines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use psca::adapt::{
+    collect_paired, record_trace, run_closed_loop, zoo, CorpusTelemetry, ExperimentConfig,
+    ModelKind,
+};
+use psca::workloads::{hdtr_corpus, ApplicationModel, Category};
+
+fn main() {
+    let cfg = ExperimentConfig::quick();
+
+    // 1. Synthesize a small high-diversity training corpus and simulate
+    //    every trace in both cluster configurations (§4.1).
+    println!("simulating training corpus ({} applications)...", cfg.hdtr_apps);
+    let corpus = {
+        let apps = hdtr_corpus(cfg.sub_seed("hdtr"), cfg.hdtr_apps, cfg.hdtr_phase_len);
+        let mut traces = Vec::new();
+        for (id, entry) in apps.iter().enumerate() {
+            for &input in entry.inputs.iter().take(cfg.hdtr_traces_per_app) {
+                let mut src = entry.app.trace(input);
+                traces.push(collect_paired(
+                    &mut src,
+                    cfg.hdtr_warmup_insts,
+                    cfg.hdtr_intervals_per_trace,
+                    cfg.interval_insts,
+                    id as u32,
+                    entry.app.name(),
+                    input,
+                ));
+            }
+        }
+        CorpusTelemetry { traces }
+    };
+
+    // 2. Train Best RF: 8 trees x depth 8 on the 12 PF counters, one
+    //    predictor per mode, sensitivity tuned to <=1% tuning RSV (§6.3).
+    println!("training Best RF (8 trees x depth 8, 12 counters)...");
+    let model = zoo::train(ModelKind::BestRf, &corpus, &cfg);
+    println!(
+        "  firmware cost: {} uC ops per prediction at a {}k-instruction interval",
+        model.ops_per_prediction,
+        model.granularity_insts(cfg.interval_insts) / 1_000
+    );
+
+    // 3. Deploy: run the adaptive CPU on an application it has never seen.
+    let app = ApplicationModel::synth("field-app", Category::WebProductivity, 0xF1E1D, 20_000);
+    let mut source = app.trace(1);
+    let (warm, window) = record_trace(&mut source, cfg.hdtr_warmup_insts, 60 * cfg.interval_insts);
+    let result = run_closed_loop(&model, &warm, &window, cfg.interval_insts);
+
+    println!("\nadaptive run over {} instructions:", result.instructions);
+    println!(
+        "  low-power residency: {:.1}% of prediction windows",
+        100.0 * result.low_power_residency
+    );
+    println!("  cycles: {}   energy: {:.0}", result.cycles, result.energy);
+    println!("  performance per watt: {:.4} insts/energy-unit", result.ppw());
+}

@@ -1,0 +1,42 @@
+//! # psca — Post-Silicon CPU Adaptation, Made Practical Using Machine Learning
+//!
+//! Facade crate re-exporting the full reproduction of Tarsa et al.,
+//! *Post-Silicon CPU Adaptation Made Practical Using Machine Learning*
+//! (ISCA 2019): an adaptive clustered CPU whose issue width is set every few
+//! tens of thousands of instructions by an ML model running in
+//! microcontroller firmware.
+//!
+//! See the individual crates for details:
+//!
+//! - [`trace`] — instruction & trace substrate
+//! - [`telemetry`] — event counters and the 936-stream telemetry cross-section
+//! - [`workloads`] — synthetic HDTR corpus and SPEC2017-like test suite
+//! - [`cpu`] — the two-cluster out-of-order simulator with cluster gating
+//! - [`ml`] — from-scratch ML library (MLP, random forest, LR, SVM, PF selection)
+//! - [`uc`] — microcontroller budget model and op-counted firmware inference
+//! - [`adapt`] — the paper's contribution: SLA metrics, blindspot-mitigating
+//!   training, the adaptive closed loop, and every experiment in §5–§7
+//!
+//! # Example
+//!
+//! Simulate one workload in both cluster configurations and compute its
+//! ground-truth gating labels:
+//!
+//! ```
+//! use psca::adapt::{collect_paired, Sla};
+//! use psca::workloads::{Archetype, PhaseGenerator};
+//!
+//! let mut trace = PhaseGenerator::new(Archetype::DepChain.center(), 1);
+//! let paired = collect_paired(&mut trace, 2_000, 8, 2_000, 0, "demo", 1);
+//! let sla = Sla::paper_default();
+//! // Serial dependence chains lose nothing at half width: gateable.
+//! assert!(paired.ideal_residency(&sla) > 0.5);
+//! ```
+
+pub use psca_adapt as adapt;
+pub use psca_cpu as cpu;
+pub use psca_ml as ml;
+pub use psca_telemetry as telemetry;
+pub use psca_trace as trace;
+pub use psca_uc as uc;
+pub use psca_workloads as workloads;

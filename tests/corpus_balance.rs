@@ -1,0 +1,89 @@
+//! Corpus-level sanity: the synthesized HDTR corpus must present a
+//! *balanced, diverse* gating problem — the statistical premise behind
+//! §6.1 — and the SPEC suite must stay out-of-sample relative to it.
+
+use psca::adapt::{CorpusTelemetry, ExperimentConfig};
+use psca::telemetry::Event;
+
+fn cfg() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick();
+    cfg.hdtr_apps = 30;
+    cfg.hdtr_traces_per_app = 2;
+    cfg.hdtr_intervals_per_trace = 12;
+    cfg
+}
+
+#[test]
+fn hdtr_gating_problem_is_balanced_and_diverse() {
+    let cfg = cfg();
+    let corpus = CorpusTelemetry::hdtr(&cfg);
+    let mut gateable = 0u64;
+    let mut total = 0u64;
+    let mut per_app_rate = Vec::new();
+    for trace in &corpus.traces {
+        let labels = trace.labels(&cfg.sla);
+        let g: u64 = labels.iter().map(|&y| y as u64).sum();
+        gateable += g;
+        total += labels.len() as u64;
+        per_app_rate.push(g as f64 / labels.len().max(1) as f64);
+    }
+    let rate = gateable as f64 / total as f64;
+    // Neither class may dominate: a degenerate corpus cannot exhibit
+    // the paper's diversity effects.
+    assert!(
+        (0.25..=0.90).contains(&rate),
+        "HDTR gateable rate {rate} is degenerate"
+    );
+    // Applications must differ: at least a third of apps on each side of
+    // the median rate by a margin.
+    per_app_rate.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let spread = per_app_rate.last().unwrap() - per_app_rate.first().unwrap();
+    assert!(spread > 0.3, "apps too homogeneous: spread {spread}");
+}
+
+#[test]
+fn telemetry_streams_are_informative_about_labels() {
+    // The premise of §6.2: at least one counter must carry visible signal
+    // about gateability. Check the dependence-visibility counter.
+    let cfg = cfg();
+    let corpus = CorpusTelemetry::hdtr(&cfg);
+    let mut ready_gate = Vec::new();
+    let mut ready_no = Vec::new();
+    for trace in &corpus.traces {
+        let labels = trace.labels(&cfg.sla);
+        for (t, &y) in labels.iter().enumerate() {
+            let v = trace.rows_lo[t][Event::UopsReady.index()];
+            if y == 1 {
+                ready_gate.push(v);
+            } else {
+                ready_no.push(v);
+            }
+        }
+    }
+    assert!(!ready_gate.is_empty() && !ready_no.is_empty());
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    assert!(
+        mean(&ready_no) > 1.2 * mean(&ready_gate),
+        "µops-ready should separate classes: gate {} vs no-gate {}",
+        mean(&ready_gate),
+        mean(&ready_no)
+    );
+}
+
+#[test]
+fn spec_apps_do_not_duplicate_hdtr_apps() {
+    // The suite is out-of-sample by construction: no parameter-identical
+    // phases between HDTR and SPEC models.
+    use psca::workloads::{hdtr_corpus, spec::spec_suite};
+    let hdtr = hdtr_corpus(1, 40, 20_000);
+    let suite = spec_suite(2, 20_000);
+    for h in &hdtr {
+        for s in &suite {
+            for hp in h.app.phases() {
+                for sp in s.app.phases() {
+                    assert_ne!(hp, sp, "phase leaked between corpora");
+                }
+            }
+        }
+    }
+}

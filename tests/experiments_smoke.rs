@@ -1,0 +1,87 @@
+//! Smoke tests for the experiment drivers at miniature scale: every
+//! driver must run end-to-end and produce structurally-sane output.
+
+use psca::adapt::experiments::{fig4, fig5, fig6, fig7, table1, table2};
+use psca::adapt::{CorpusTelemetry, ExperimentConfig};
+
+fn micro_cfg() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick();
+    cfg.hdtr_apps = 10;
+    cfg.hdtr_traces_per_app = 1;
+    cfg.hdtr_intervals_per_trace = 12;
+    cfg.spec_intervals_per_simpoint = 8;
+    cfg.spec_max_simpoints_per_workload = 1;
+    cfg.folds = 3;
+    cfg
+}
+
+#[test]
+fn table1_and_table2_run() {
+    let cfg = micro_cfg();
+    let t1 = table1::run(&cfg);
+    assert_eq!(t1.ours.total_apps, cfg.hdtr_apps);
+    let t2 = table2::run(&cfg);
+    assert_eq!(t2.rows.len(), 20);
+    assert!(!t1.to_string().is_empty());
+    assert!(!t2.to_string().is_empty());
+}
+
+#[test]
+fn fig7_reports_residency_per_benchmark() {
+    let mut cfg = micro_cfg();
+    // Only one workload per benchmark to stay fast.
+    cfg.spec_max_simpoints_per_workload = 1;
+    let spec = {
+        // Restrict to a few benchmarks' traces by truncating the corpus.
+        let mut c = CorpusTelemetry::spec(&cfg);
+        c.traces.truncate(30);
+        c
+    };
+    let f7 = fig7::run(&cfg, &spec);
+    assert!(!f7.per_benchmark.is_empty());
+    assert!(f7.average > 0.0 && f7.average < 1.0);
+    for (_, r) in &f7.per_benchmark {
+        assert!((0.0..=1.0).contains(r));
+    }
+}
+
+#[test]
+fn fig4_diversity_sweep_runs() {
+    let cfg = micro_cfg();
+    let hdtr = CorpusTelemetry::hdtr(&cfg);
+    let f4 = fig4::run(&cfg, &hdtr);
+    assert!(f4.points.len() >= 2);
+    // Sizes are strictly increasing.
+    for w in f4.points.windows(2) {
+        assert!(w[0].apps < w[1].apps);
+    }
+    for p in &f4.points {
+        assert!((0.0..=1.0).contains(&p.pgos_mean));
+        assert!((0.0..=1.0).contains(&p.rsv_mean));
+    }
+}
+
+#[test]
+fn fig5_counter_sweep_runs() {
+    let cfg = micro_cfg();
+    let hdtr = CorpusTelemetry::hdtr(&cfg);
+    let f5 = fig5::run(&cfg, &hdtr);
+    assert!(!f5.pf_sweep.is_empty());
+    assert!(f5.pf_order.len() >= f5.pf_sweep.last().unwrap().counters.min(4));
+    assert_eq!(f5.expert.counters, 8);
+}
+
+#[test]
+fn fig6_screen_prefers_budget_nets() {
+    let cfg = micro_cfg();
+    let hdtr = CorpusTelemetry::hdtr(&cfg);
+    let f6 = fig6::run(&cfg, &hdtr);
+    assert_eq!(f6.points.len(), fig6::topology_grid().len());
+    let sel = &f6.points[f6.selected];
+    assert!(sel.fits_50k_budget, "selected topology must fit the budget");
+    // Cost ordering: the 32/32/16 net must cost more than the 4-filter net.
+    let big = f6.points.iter().find(|p| p.hidden == vec![32, 32, 16]).unwrap();
+    let small = f6.points.iter().find(|p| p.hidden == vec![4]).unwrap();
+    assert!(big.ops > small.ops);
+    assert!(!big.fits_50k_budget, "32/32/16 exceeds the 50k budget (Table 3)");
+}

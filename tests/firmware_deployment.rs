@@ -1,0 +1,78 @@
+//! End-to-end firmware deployment: a trained model survives the full
+//! §3.2 delivery path — encode to a firmware image, ship the bytes,
+//! decode on the "CPU", and drive the closed loop identically.
+
+use psca::adapt::{record_trace, run_closed_loop, zoo, CorpusTelemetry, ExperimentConfig, ModelKind};
+use psca::adapt::collect_paired;
+use psca::uc::image;
+use psca::workloads::{Archetype, PhaseGenerator};
+
+fn corpus() -> CorpusTelemetry {
+    let traces = [
+        Archetype::DepChain,
+        Archetype::ScalarIlp,
+        Archetype::MemBound,
+        Archetype::Balanced,
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, a)| {
+        let mut gen = PhaseGenerator::new(a.center(), 400 + i as u64);
+        collect_paired(&mut gen, 2_000, 24, 2_000, i as u32, "t", 1)
+    })
+    .collect();
+    CorpusTelemetry { traces }
+}
+
+#[test]
+fn shipped_firmware_drives_identical_gating() {
+    let cfg = ExperimentConfig::quick();
+    let mut model = zoo::train(ModelKind::BestRf, &corpus(), &cfg);
+
+    // Ship both per-mode predictors as firmware images.
+    let img_hi = image::encode(&model.fw_hi).expect("deployable");
+    let img_lo = image::encode(&model.fw_lo).expect("deployable");
+    let original = model.clone();
+    model.fw_hi = image::decode(&img_hi).expect("valid image");
+    model.fw_lo = image::decode(&img_lo).expect("valid image");
+
+    // The decoded firmware must reproduce the original closed loop
+    // decision-for-decision on a fresh workload.
+    let mut gen = PhaseGenerator::new(Archetype::Balanced.center(), 777);
+    let (warm, window) = record_trace(&mut gen, 2_000, 64_000);
+    let a = run_closed_loop(&original, &warm, &window, cfg.interval_insts);
+    let b = run_closed_loop(&model, &warm, &window, cfg.interval_insts);
+    assert_eq!(a.predictions, b.predictions);
+    assert_eq!(a.modes, b.modes);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.energy.to_bits(), b.energy.to_bits());
+}
+
+#[test]
+fn firmware_images_are_compact() {
+    let cfg = ExperimentConfig::quick();
+    let model = zoo::train(ModelKind::BestRf, &corpus(), &cfg);
+    let img = image::encode(&model.fw_lo).expect("deployable");
+    // A firmware update should be kilobytes, not megabytes: trees are
+    // stored sparsely in the image even though the µC budget accounting
+    // uses the padded-array footprint.
+    assert!(
+        img.len() < 64 * 1024,
+        "firmware image unexpectedly large: {} bytes",
+        img.len()
+    );
+    assert!(img.len() > 64, "image suspiciously small");
+}
+
+#[test]
+fn charstar_firmware_also_roundtrips() {
+    let cfg = ExperimentConfig::quick();
+    let model = zoo::train(ModelKind::Charstar, &corpus(), &cfg);
+    let img = image::encode(&model.fw_lo).expect("MLPs are deployable");
+    let back = image::decode(&img).expect("valid");
+    // Spot-check decision agreement over a grid of inputs.
+    for i in 0..200 {
+        let x: Vec<f64> = (0..8).map(|j| ((i * 7 + j * 13) % 19) as f64 / 19.0 - 0.5).collect();
+        assert_eq!(model.fw_lo.predict(&x), back.predict(&x));
+    }
+}

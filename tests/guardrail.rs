@@ -1,0 +1,98 @@
+//! Integration tests of the §3.1 fail-safe guardrail inside the
+//! evaluation loop: it must mask even a pathologically bad model's SLA
+//! violations, at a PPW cost.
+
+use psca::adapt::experiments::evaluate_with_guardrail;
+use psca::adapt::guardrail::GuardrailConfig;
+use psca::adapt::{collect_paired, zoo, CorpusTelemetry, ExperimentConfig, ModelKind};
+use psca::workloads::{Archetype, PhaseGenerator};
+
+fn corpus(archetypes: &[Archetype], seed: u64) -> CorpusTelemetry {
+    let traces = archetypes
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            let mut gen = PhaseGenerator::new(a.center(), seed + i as u64);
+            collect_paired(&mut gen, 2_000, 64, 2_000, i as u32, &format!("{a:?}"), 1)
+        })
+        .collect();
+    CorpusTelemetry { traces }
+}
+
+/// Trains a model ONLY on gateable workloads — it will happily gate
+/// everything, creating systematic violations on wide-ILP code.
+fn blind_model(cfg: &ExperimentConfig) -> psca::adapt::TrainedAdaptModel {
+    let gateable_only = corpus(
+        &[
+            Archetype::DepChain,
+            Archetype::MemBound,
+            Archetype::PointerChase,
+            Archetype::StreamFpChain,
+        ],
+        10,
+    );
+    zoo::train(ModelKind::BestRf, &gateable_only, cfg)
+}
+
+#[test]
+fn guardrail_masks_a_blind_models_violations() {
+    let cfg = ExperimentConfig::quick();
+    let model = blind_model(&cfg);
+    // Confront it with wide-ILP code it has never seen.
+    let hostile = corpus(&[Archetype::ScalarIlp, Archetype::SimdKernel], 77);
+    let without = evaluate_with_guardrail(&model, &hostile, &cfg, None).overall;
+    let with = evaluate_with_guardrail(
+        &model,
+        &hostile,
+        &cfg,
+        Some(GuardrailConfig::default()),
+    )
+    .overall;
+    assert!(
+        without.rsv > 0.2,
+        "the blind model should violate heavily: rsv {}",
+        without.rsv
+    );
+    assert!(
+        with.rsv < without.rsv,
+        "guardrail must reduce RSV: {} -> {}",
+        without.rsv,
+        with.rsv
+    );
+    assert!(
+        with.avg_perf >= without.avg_perf,
+        "guardrail must not reduce performance"
+    );
+}
+
+#[test]
+fn guardrail_is_nearly_free_for_a_good_model() {
+    let cfg = ExperimentConfig::quick();
+    let train_corpus = corpus(
+        &[
+            Archetype::DepChain,
+            Archetype::ScalarIlp,
+            Archetype::MemBound,
+            Archetype::Balanced,
+        ],
+        20,
+    );
+    let model = zoo::train(ModelKind::BestRf, &train_corpus, &cfg);
+    let without = evaluate_with_guardrail(&model, &train_corpus, &cfg, None).overall;
+    let with = evaluate_with_guardrail(
+        &model,
+        &train_corpus,
+        &cfg,
+        Some(GuardrailConfig::default()),
+    )
+    .overall;
+    // A well-trained model rarely trips the guardrail, so PPW should not
+    // collapse (§3.1: violations are minimized so guardrails can be
+    // permissive).
+    assert!(
+        with.ppw_gain > 0.5 * without.ppw_gain,
+        "guardrail cost too high: {} -> {}",
+        without.ppw_gain,
+        with.ppw_gain
+    );
+}

@@ -1,0 +1,153 @@
+//! Cross-crate integration tests: the full data path from workload
+//! synthesis through simulation, telemetry, training, and deployment.
+
+use psca::adapt::experiments::evaluate_model_on_corpus;
+use psca::adapt::{
+    collect_paired, record_trace, run_closed_loop, zoo, CorpusTelemetry, ExperimentConfig,
+    ModelKind, Sla,
+};
+use psca::cpu::Mode;
+use psca::workloads::{Archetype, PhaseGenerator};
+
+fn small_corpus(seed: u64) -> CorpusTelemetry {
+    let archetypes = [
+        Archetype::DepChain,
+        Archetype::ScalarIlp,
+        Archetype::MemBound,
+        Archetype::Balanced,
+        Archetype::Branchy,
+        Archetype::SimdKernel,
+    ];
+    let traces = archetypes
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            let mut gen = PhaseGenerator::new(a.center(), seed + i as u64);
+            collect_paired(&mut gen, 2_000, 24, 2_000, i as u32, &format!("{a:?}"), 1)
+        })
+        .collect();
+    CorpusTelemetry { traces }
+}
+
+#[test]
+fn end_to_end_training_and_deployment() {
+    let cfg = ExperimentConfig::quick();
+    let corpus = small_corpus(100);
+    let model = zoo::train(ModelKind::BestRf, &corpus, &cfg);
+    // Deploy on a fresh workload.
+    let mut gen = PhaseGenerator::new(Archetype::DepChain.center(), 999);
+    let (warm, window) = record_trace(&mut gen, 2_000, 48_000);
+    let result = run_closed_loop(&model, &warm, &window, cfg.interval_insts);
+    assert_eq!(result.instructions, 48_000);
+    assert!(result.low_power_residency > 0.3, "serial code should gate");
+}
+
+#[test]
+fn closed_loop_and_emulation_agree_on_residency() {
+    // The instruction-level closed loop (controller) and the paired-mode
+    // emulation (eval) must tell the same story on a stationary workload.
+    let cfg = ExperimentConfig::quick();
+    let corpus = small_corpus(200);
+    let model = zoo::train(ModelKind::BestRf, &corpus, &cfg);
+
+    let archetype = Archetype::MemBound;
+    // Real closed loop.
+    let mut gen = PhaseGenerator::new(archetype.center(), 1234);
+    let (warm, window) = record_trace(&mut gen, 2_000, 64_000);
+    let real = run_closed_loop(&model, &warm, &window, cfg.interval_insts);
+    // Emulated closed loop over paired telemetry of the same generator.
+    let mut gen2 = PhaseGenerator::new(archetype.center(), 1234);
+    let paired = collect_paired(&mut gen2, 2_000, 32, 2_000, 0, "probe", 1);
+    let emu = evaluate_model_on_corpus(&model, &CorpusTelemetry { traces: vec![paired] }, &cfg);
+    let delta = (real.low_power_residency - emu.overall.residency).abs();
+    assert!(
+        delta < 0.25,
+        "closed loop {} vs emulation {}",
+        real.low_power_residency,
+        emu.overall.residency
+    );
+}
+
+#[test]
+fn oracle_labels_match_between_modes_and_sla() {
+    let sla = Sla::paper_default();
+    let mut gen = PhaseGenerator::new(Archetype::ScalarIlp.center(), 77);
+    let paired = collect_paired(&mut gen, 2_000, 16, 2_000, 0, "probe", 1);
+    let labels = paired.labels(&sla);
+    assert_eq!(labels.len(), paired.len());
+    // Relaxing the SLA can only add gating opportunities.
+    let relaxed = paired.labels(&sla.with_p_sla(0.5));
+    for (strict, loose) in labels.iter().zip(&relaxed) {
+        assert!(loose >= strict);
+    }
+}
+
+#[test]
+fn firmware_models_fit_microcontroller_budgets() {
+    let cfg = ExperimentConfig::quick();
+    let corpus = small_corpus(300);
+    for kind in [ModelKind::BestRf, ModelKind::BestMlp, ModelKind::Charstar] {
+        let model = zoo::train(kind, &corpus, &cfg);
+        assert!(
+            zoo::fits_budget(&model),
+            "{kind:?} exceeds its Table 3 budget: {} ops at granularity {}",
+            model.ops_per_prediction,
+            model.granularity
+        );
+    }
+}
+
+#[test]
+fn telemetry_modes_differ_where_it_matters() {
+    // High-performance and low-power telemetry of the same trace must
+    // agree on mode-independent structure (miss counts per instruction)
+    // while disagreeing on pipeline-visible behaviour.
+    use psca::telemetry::Event;
+    let mut gen = PhaseGenerator::new(Archetype::ScalarIlp.center(), 5);
+    let paired = collect_paired(&mut gen, 4_000, 8, 4_000, 0, "probe", 1);
+    for t in 0..paired.len() {
+        let hi_ipc = paired.ipc_hi[t];
+        let lo_ipc = paired.ipc_lo[t];
+        assert!(hi_ipc >= lo_ipc * 0.9, "hi should not be slower");
+        // Mispredicts per instruction are mode-independent here.
+        let hi_mpki = paired.rows_hi[t][Event::BranchMispredicts.index()] / hi_ipc;
+        let lo_mpki = paired.rows_lo[t][Event::BranchMispredicts.index()] / lo_ipc;
+        assert!((hi_mpki - lo_mpki).abs() < 0.01, "t={t}: {hi_mpki} vs {lo_mpki}");
+    }
+}
+
+#[test]
+fn adaptive_cpu_never_catastrophically_underperforms() {
+    // Even with an imperfect model, average performance must stay within
+    // the ballpark the SLA implies (quick config, training-set workloads).
+    let cfg = ExperimentConfig::quick();
+    let corpus = small_corpus(400);
+    let model = zoo::train(ModelKind::BestRf, &corpus, &cfg);
+    let eval = evaluate_model_on_corpus(&model, &corpus, &cfg);
+    assert!(
+        eval.overall.avg_perf > 0.80,
+        "average performance {} too low",
+        eval.overall.avg_perf
+    );
+}
+
+#[test]
+fn mode_is_applied_with_two_window_delay() {
+    let cfg = ExperimentConfig::quick();
+    let corpus = small_corpus(500);
+    let model = zoo::train(ModelKind::BestRf, &corpus, &cfg);
+    let mut gen = PhaseGenerator::new(Archetype::DepChain.center(), 42);
+    let (warm, window) = record_trace(&mut gen, 2_000, 80_000);
+    let res = run_closed_loop(&model, &warm, &window, cfg.interval_insts);
+    // First two windows: no prediction could have been applied.
+    assert_eq!(res.modes[0], Mode::HighPerf);
+    assert_eq!(res.modes[1], Mode::HighPerf);
+    assert!(res.predictions[0].is_none() && res.predictions[1].is_none());
+    // Afterwards, applied modes follow the recorded predictions.
+    for (i, pred) in res.predictions.iter().enumerate().skip(2) {
+        if let Some(p) = pred {
+            let expect = if *p == 1 { Mode::LowPower } else { Mode::HighPerf };
+            assert_eq!(res.modes[i], expect, "window {i}");
+        }
+    }
+}

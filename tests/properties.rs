@@ -1,0 +1,178 @@
+//! Property-based tests over core invariants, spanning crates.
+
+use proptest::prelude::*;
+use psca::cpu::{Cache, ClusterSim, CpuConfig, Mode, Tlb};
+use psca::ml::metrics::{rate_of_sla_violations, Confusion};
+use psca::ml::{Dataset, Matrix, RandomForest, RandomForestConfig};
+use psca::telemetry::{CounterBank, Event, ExpandedTelemetry, IntervalSnapshot, NUM_EVENTS};
+use psca::trace::{Instruction, OpClass, TraceSource, VecTrace};
+use psca::workloads::{Archetype, PhaseGenerator};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Cache hit rate over a working set that fits is eventually 100%.
+    #[test]
+    fn cache_resident_working_set_hits(lines in 1u64..400, seed in 0u64..1000) {
+        let mut c = Cache::new(32 * 1024, 8); // 512 lines
+        for round in 0..3 {
+            let _ = round;
+            for i in 0..lines {
+                let line = seed + i;
+                let out = c.access(line, false);
+                if round > 0 {
+                    prop_assert!(out.hit, "line {line} missed after warmup");
+                }
+            }
+        }
+    }
+
+    /// A TLB never reports more hits than accesses, and page locality
+    /// guarantees hits after first touch within capacity.
+    #[test]
+    fn tlb_capacity_invariant(pages in 1u64..60, rounds in 2usize..5) {
+        let mut tlb = Tlb::new(64);
+        let mut misses = 0u64;
+        for r in 0..rounds {
+            for p in 0..pages {
+                if !tlb.access(p << 12) && r > 0 {
+                    misses += 1;
+                }
+            }
+        }
+        prop_assert_eq!(misses, 0, "resident pages must not miss");
+    }
+
+    /// Counter normalization: de-normalizing a snapshot recovers counts.
+    #[test]
+    fn snapshot_normalization_roundtrips(
+        cycles in 1u64..100_000,
+        count in 0u64..1_000_000,
+    ) {
+        let mut bank = CounterBank::new();
+        bank.add(Event::Cycles, cycles);
+        bank.add(Event::LoadsRetired, count);
+        let snap = bank.snapshot_and_reset();
+        let recovered = snap.get(Event::LoadsRetired) * snap.cycles as f64;
+        prop_assert!((recovered - count as f64).abs() < 1e-6 * count.max(1) as f64);
+    }
+
+    /// Aggregation preserves instruction and cycle totals for any split.
+    #[test]
+    fn aggregation_conserves_totals(parts in prop::collection::vec((1u64..5_000, 1u64..10_000), 1..12)) {
+        let snaps: Vec<IntervalSnapshot> = parts
+            .iter()
+            .map(|&(insts, cycles)| {
+                let mut bank = CounterBank::new();
+                bank.add(Event::Cycles, cycles);
+                bank.add(Event::InstRetired, insts);
+                bank.add(Event::UopsIssued, insts);
+                bank.snapshot_and_reset()
+            })
+            .collect();
+        let agg = IntervalSnapshot::aggregate(&snaps);
+        let insts: u64 = parts.iter().map(|p| p.0).sum();
+        let cycles: u64 = parts.iter().map(|p| p.1).sum();
+        prop_assert_eq!(agg.instructions, insts);
+        prop_assert_eq!(agg.cycles, cycles);
+        let uops = agg.get(Event::UopsIssued) * agg.cycles as f64;
+        prop_assert!((uops - insts as f64).abs() < 1e-6);
+    }
+
+    /// The telemetry expansion is deterministic and non-negative for any
+    /// base vector.
+    #[test]
+    fn expansion_deterministic_nonnegative(
+        seed in 0u64..50,
+        t in 0u64..200,
+        scale in 0.0f64..10.0,
+    ) {
+        let exp = ExpandedTelemetry::new(seed);
+        let base: Vec<f64> = (0..NUM_EVENTS).map(|i| scale * (i as f64 + 1.0) / 10.0).collect();
+        let a = exp.expand_row(&base, t);
+        let b = exp.expand_row(&base, t);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.iter().all(|v| *v >= 0.0 && v.is_finite()));
+    }
+
+    /// PGOS and RSV are bounded in [0, 1] for arbitrary label streams.
+    #[test]
+    fn metrics_bounded(
+        truth in prop::collection::vec(0u8..2, 1..200),
+        flips in prop::collection::vec(any::<bool>(), 1..200),
+        w in 1usize..32,
+    ) {
+        let pred: Vec<u8> = truth
+            .iter()
+            .zip(flips.iter().cycle())
+            .map(|(&y, &fl)| if fl { 1 - y } else { y })
+            .collect();
+        let c = Confusion::from_predictions(&truth, &pred);
+        prop_assert!((0.0..=1.0).contains(&c.pgos()));
+        prop_assert!((0.0..=1.0).contains(&c.accuracy()));
+        let rsv = rate_of_sla_violations(&truth, &pred, w);
+        prop_assert!((0.0..=1.0).contains(&rsv));
+        // Perfect predictions always give zero RSV.
+        prop_assert_eq!(rate_of_sla_violations(&truth, &truth, w), 0.0);
+    }
+
+    /// IPC never exceeds the issue width of the active configuration.
+    #[test]
+    fn ipc_bounded_by_width(arch_idx in 0usize..12, lo in any::<bool>(), seed in 0u64..50) {
+        let a = Archetype::ALL[arch_idx];
+        let mode = if lo { Mode::LowPower } else { Mode::HighPerf };
+        let mut sim = ClusterSim::new(CpuConfig::skylake_scaled());
+        sim.set_mode(mode);
+        let mut gen = PhaseGenerator::new(a.center(), seed);
+        let r = sim.run_interval(&mut gen, 5_000).unwrap();
+        let width = match mode { Mode::HighPerf => 8.0, Mode::LowPower => 4.0 };
+        prop_assert!(r.ipc() > 0.0 && r.ipc() <= width + 1e-9);
+        prop_assert!(r.energy > 0.0);
+    }
+
+    /// Random-forest probabilities are averages of leaf probabilities and
+    /// stay in [0, 1] for any query point.
+    #[test]
+    fn forest_probabilities_bounded(
+        n in 20usize..80,
+        seedling in 0u64..100,
+        qx in -5.0f64..5.0,
+        qy in -5.0f64..5.0,
+    ) {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![(i as f64) / n as f64, ((i * 7 + seedling as usize) % n) as f64 / n as f64])
+            .collect();
+        let labels: Vec<u8> = rows.iter().map(|r| (r[0] > 0.5) as u8).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let data = Dataset::new(Matrix::from_rows(&refs), labels, vec![0; n]);
+        let rf = RandomForest::fit(&RandomForestConfig::best_rf(), &data, seedling);
+        let p = rf.predict_proba(&[qx, qy]);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    /// Trace adaptors never invent instructions.
+    #[test]
+    fn take_never_exceeds(n in 0u64..500, cap in 0u64..500) {
+        let insts = vec![Instruction::alu(OpClass::IntAlu, None, [None, None]); n as usize];
+        let mut t = VecTrace::new(insts).take_insts(cap);
+        let mut count = 0u64;
+        while t.next_instruction().is_some() {
+            count += 1;
+        }
+        prop_assert_eq!(count, n.min(cap));
+    }
+
+    /// The phase generator always produces well-formed instructions with
+    /// jittered parameters.
+    #[test]
+    fn generator_well_formed_under_jitter(arch_idx in 0usize..12, seed in 0u64..200) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let params = Archetype::ALL[arch_idx].sample_params(&mut rng, 0.5);
+        let mut gen = PhaseGenerator::new(params, seed);
+        for _ in 0..300 {
+            let inst = gen.next_instruction().unwrap();
+            prop_assert!(inst.is_well_formed());
+        }
+    }
+}
