@@ -61,6 +61,7 @@ pub fn run_closed_loop(
     window: &VecTrace,
     interval_insts: u64,
 ) -> ClosedLoopResult {
+    let _span = psca_obs::SpanTimer::start("adapt.closed_loop");
     let g = model.granularity;
     let mut sim = ClusterSim::new(CpuConfig::skylake_scaled());
     let mut warm_replay = warm.clone();
@@ -99,11 +100,24 @@ pub fn run_closed_loop(
             break;
         }
         modes.push(window_mode);
+        psca_obs::counter("adapt.windows").inc();
         if window_mode == Mode::LowPower {
             low_windows += 1;
+            psca_obs::counter("adapt.windows_gated_low").inc();
         }
         // Counters from window t → configuration for window t+HORIZON.
         let gate = model.predict(window_mode, &rows, &row_cycles);
+        if psca_obs::enabled(psca_obs::Level::Trace) {
+            psca_obs::emit(
+                psca_obs::Level::Trace,
+                "adapt.window.decision",
+                &[
+                    ("window", widx.into()),
+                    ("mode", window_mode.to_string().into()),
+                    ("gate", gate.into()),
+                ],
+            );
+        }
         let target = widx + HORIZON;
         while pending.len() <= target {
             pending.push(None);
@@ -181,7 +195,10 @@ mod tests {
         assert_eq!(res.instructions, 48_000);
         assert!(res.energy > 0.0);
         assert!(res.cycles > 0);
-        assert_eq!(res.modes.len(), 48_000 / (cfg.interval_insts * model.granularity as u64) as usize);
+        assert_eq!(
+            res.modes.len(),
+            48_000 / (cfg.interval_insts * model.granularity as u64) as usize
+        );
         // The first HORIZON windows carry no prediction.
         assert!(res.predictions[0].is_none());
         assert!(res.predictions[1].is_none());
@@ -242,6 +259,9 @@ mod tests {
         let truth = vec![1u8; res.modes.len()];
         let (t, p) = res.aligned_labels(&truth);
         assert_eq!(t.len(), p.len());
-        assert_eq!(t.len(), res.predictions.iter().filter(|x| x.is_some()).count());
+        assert_eq!(
+            t.len(),
+            res.predictions.iter().filter(|x| x.is_some()).count()
+        );
     }
 }

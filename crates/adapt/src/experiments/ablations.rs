@@ -51,7 +51,11 @@ pub fn steering(cfg: &ExperimentConfig) -> SteeringAblation {
 impl std::fmt::Display for SteeringAblation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "Ablation — steering policy (8-wide mode IPC)")?;
-        writeln!(f, "{:16} {:>12} {:>12}", "archetype", "dep-aware", "round-robin")?;
+        writeln!(
+            f,
+            "{:16} {:>12} {:>12}",
+            "archetype", "dep-aware", "round-robin"
+        )?;
         for (a, d, r) in &self.rows {
             writeln!(f, "{:16} {:>12.2} {:>12.2}", format!("{a:?}"), d, r)?;
         }
@@ -78,7 +82,12 @@ fn crossval_rf(
     w: usize,
     tag: u64,
 ) -> (f64, f64, f64) {
-    let folds = group_folds(data.groups(), cfg.folds.min(8), 0.2, cfg.sub_seed("abl") ^ tag);
+    let folds = group_folds(
+        data.groups(),
+        cfg.folds.min(8),
+        0.2,
+        cfg.sub_seed("abl") ^ tag,
+    );
     let mut pgos = Vec::new();
     let mut rsv = Vec::new();
     let mut acc = Vec::new();
@@ -107,14 +116,7 @@ pub fn horizon(cfg: &ExperimentConfig, hdtr: &CorpusTelemetry) -> Vec<Prediction
     [0usize, 1, 2]
         .iter()
         .map(|&h| {
-            let data = build_dataset_with_horizon(
-                hdtr,
-                Mode::LowPower,
-                &events,
-                1,
-                &cfg.sla,
-                h,
-            );
+            let data = build_dataset_with_horizon(hdtr, Mode::LowPower, &events, 1, &cfg.sla, h);
             let (pgos, rsv, accuracy) = crossval_rf(cfg, &data, w, h as u64);
             PredictionAblation {
                 label: format!("predict t+{h}"),
@@ -184,7 +186,11 @@ pub fn cluster_width(cfg: &ExperimentConfig) -> WidthAblation {
     let insts = 16 * cfg.interval_insts;
     let mut rows = Vec::new();
     for &width in &[2u32, 4, 6] {
-        for &a in &[Archetype::ScalarIlp, Archetype::DepChain, Archetype::Balanced] {
+        for &a in &[
+            Archetype::ScalarIlp,
+            Archetype::DepChain,
+            Archetype::Balanced,
+        ] {
             let ipc_for = |mode: Mode| {
                 let mut cpu_cfg = CpuConfig::skylake_scaled();
                 cpu_cfg.cluster_width = width;
@@ -246,10 +252,17 @@ pub fn dvfs(cfg: &ExperimentConfig, corpus: &CorpusTelemetry) -> DvfsAblation {
         let mut governor_both = DvfsGovernor::new(model.clone(), 0.05);
         for t in 0..trace.len() {
             let gate = labels[t] == 1;
-            let (cyc_hi, e_hi, miss_hi) =
-                (trace.cycles_hi[t], trace.energy_hi[t], trace.rows_hi[t][llc]);
+            let (cyc_hi, e_hi, miss_hi) = (
+                trace.cycles_hi[t],
+                trace.energy_hi[t],
+                trace.rows_hi[t][llc],
+            );
             let (cyc_g, e_g, miss_g) = if gate {
-                (trace.cycles_lo[t], trace.energy_lo[t], trace.rows_lo[t][llc])
+                (
+                    trace.cycles_lo[t],
+                    trace.energy_lo[t],
+                    trace.rows_lo[t][llc],
+                )
             } else {
                 (cyc_hi, e_hi, miss_hi)
             };
@@ -284,7 +297,12 @@ pub fn dvfs(cfg: &ExperimentConfig, corpus: &CorpusTelemetry) -> DvfsAblation {
     }
     let base_ppw = acc[0].2 as f64 / acc[0].1;
     let base_time = acc[0].0;
-    let labels = ["baseline (hi @ ref)", "DVFS only", "gating only", "DVFS + gating"];
+    let labels = [
+        "baseline (hi @ ref)",
+        "DVFS only",
+        "gating only",
+        "DVFS + gating",
+    ];
     let rows = labels
         .iter()
         .zip(acc.iter())
@@ -311,7 +329,10 @@ fn fake_interval(
     let mut bank = CounterBank::new();
     bank.add(Event::Cycles, cycles);
     bank.add(Event::InstRetired, insts);
-    bank.add(Event::LlcMisses, (llc_per_cycle * cycles as f64).round() as u64);
+    bank.add(
+        Event::LlcMisses,
+        (llc_per_cycle * cycles as f64).round() as u64,
+    );
     let snapshot = bank.snapshot_and_reset();
     psca_cpu::IntervalResult {
         snapshot,
@@ -323,8 +344,15 @@ fn fake_interval(
 
 impl std::fmt::Display for DvfsAblation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Ablation — DVFS x cluster gating (oracle gating, 5% DVFS slack)")?;
-        writeln!(f, "{:22} {:>10} {:>10}", "configuration", "rel perf", "PPW gain")?;
+        writeln!(
+            f,
+            "Ablation — DVFS x cluster gating (oracle gating, 5% DVFS slack)"
+        )?;
+        writeln!(
+            f,
+            "{:22} {:>10} {:>10}",
+            "configuration", "rel perf", "PPW gain"
+        )?;
         for (l, perf, ppw) in &self.rows {
             writeln!(f, "{:22} {:>9.1}% {:>9.1}%", l, 100.0 * perf, 100.0 * ppw)?;
         }
@@ -363,13 +391,8 @@ pub fn guardrail(
         .map(|&kind| {
             let model = crate::zoo::train(kind, hdtr, cfg);
             let without = evaluate_with_guardrail(&model, spec, cfg, None).overall;
-            let with = evaluate_with_guardrail(
-                &model,
-                spec,
-                cfg,
-                Some(GuardrailConfig::default()),
-            )
-            .overall;
+            let with = evaluate_with_guardrail(&model, spec, cfg, Some(GuardrailConfig::default()))
+                .overall;
             (kind.name().to_string(), without, with)
         })
         .collect();
@@ -454,7 +477,10 @@ mod tests {
             .map(|(_, _, hi, _)| *hi)
             .collect();
         assert_eq!(scalar_hi.len(), 3);
-        assert!(scalar_hi[0] < scalar_hi[1], "wider clusters must help wide code");
+        assert!(
+            scalar_hi[0] < scalar_hi[1],
+            "wider clusters must help wide code"
+        );
         assert!(scalar_hi[1] < scalar_hi[2]);
     }
 }
@@ -464,7 +490,11 @@ pub fn format_points(title: &str, points: &[PredictionAblation]) -> String {
     use std::fmt::Write;
     let mut s = String::new();
     let _ = writeln!(s, "Ablation — {title}");
-    let _ = writeln!(s, "{:30} {:>8} {:>8} {:>9}", "variant", "PGOS", "RSV", "accuracy");
+    let _ = writeln!(
+        s,
+        "{:30} {:>8} {:>8} {:>9}",
+        "variant", "PGOS", "RSV", "accuracy"
+    );
     for p in points {
         let _ = writeln!(
             s,

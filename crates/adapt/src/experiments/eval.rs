@@ -114,8 +114,7 @@ fn emulate_trace(
     cfg: &ExperimentConfig,
     guardrail_cfg: Option<crate::guardrail::GuardrailConfig>,
 ) -> Accumulator {
-    let mut guardrail =
-        guardrail_cfg.map(|g| crate::guardrail::Guardrail::new(g, cfg.sla));
+    let mut guardrail = guardrail_cfg.map(|g| crate::guardrail::Guardrail::new(g, cfg.sla));
     let g = model.granularity;
     let agg = trace.aggregate(g);
     let labels = agg.labels(&cfg.sla);
@@ -179,10 +178,26 @@ fn emulate_trace(
         let fp = (i..end).filter(|&k| pred[k] == 1 && truth[k] == 0).count();
         if fp as f64 / (end - i) as f64 > 0.5 {
             acc.violations += 1;
+            psca_obs::emit(
+                psca_obs::Level::Warn,
+                "sla.violation",
+                &[
+                    ("app", trace.app_name.as_str().into()),
+                    ("window_start", i.into()),
+                    ("false_gates", fp.into()),
+                    ("window_len", (end - i).into()),
+                ],
+            );
         }
         acc.windows += 1;
         i = end;
     }
+    psca_obs::counter("adapt.sla.violations").add(acc.violations as u64);
+    psca_obs::counter("adapt.eval.windows").add(acc.windows as u64);
+    psca_obs::counter("adapt.windows").add(acc.total_windows as u64);
+    psca_obs::counter("adapt.windows_gated_low").add(acc.low_windows as u64);
+    psca_obs::counter("adapt.mispredictions").add(c.fp + c.fn_);
+    psca_obs::counter("adapt.predictions").add(c.tp + c.fp + c.tn + c.fn_);
     acc
 }
 
@@ -214,12 +229,13 @@ pub fn evaluate_with_guardrail(
             None => per_app.push((trace.app_name.clone(), acc)),
         }
     }
+    let overall = overall.finish();
+    psca_obs::gauge("adapt.eval.last_ppw_gain").set(overall.ppw_gain);
+    psca_obs::gauge("adapt.eval.last_rsv").set(overall.rsv);
+    psca_obs::gauge("adapt.eval.last_accuracy").set(overall.accuracy);
     PerAppEvaluation {
-        per_app: per_app
-            .into_iter()
-            .map(|(n, a)| (n, a.finish()))
-            .collect(),
-        overall: overall.finish(),
+        per_app: per_app.into_iter().map(|(n, a)| (n, a.finish())).collect(),
+        overall,
     }
 }
 
@@ -243,7 +259,15 @@ mod tests {
         .enumerate()
         {
             let mut gen = PhaseGenerator::new(a.center(), i as u64 + 50);
-            traces.push(collect_paired(&mut gen, 2_000, 24, 2_000, i as u32, a_name(*a), 1));
+            traces.push(collect_paired(
+                &mut gen,
+                2_000,
+                24,
+                2_000,
+                i as u32,
+                a_name(*a),
+                1,
+            ));
         }
         CorpusTelemetry { traces }
     }
@@ -267,7 +291,11 @@ mod tests {
         let o = &eval.overall;
         assert!(o.rsv >= 0.0 && o.rsv <= 1.0);
         assert!(o.pgos >= 0.0 && o.pgos <= 1.0);
-        assert!(o.avg_perf > 0.5 && o.avg_perf <= 1.05, "avg perf {}", o.avg_perf);
+        assert!(
+            o.avg_perf > 0.5 && o.avg_perf <= 1.05,
+            "avg perf {}",
+            o.avg_perf
+        );
         assert!(o.ppw_gain > -0.2 && o.ppw_gain < 1.0);
         assert!(o.windows > 0);
     }

@@ -75,7 +75,11 @@ pub fn run(cfg: &ExperimentConfig, hdtr: &CorpusTelemetry, spec: &CorpusTelemetr
     // initialization makes blindspot magnitude noisy, and the step
     // structure — not one lucky model — is the claim under test.
     let seeds = 3u64;
-    let averaged = |label: &str, counters: &[psca_telemetry::Event], hidden: &[usize], paper_rsv: f64, tag: &str| {
+    let averaged = |label: &str,
+                    counters: &[psca_telemetry::Event],
+                    hidden: &[usize],
+                    paper_rsv: f64,
+                    tag: &str| {
         let mut rsv = 0.0;
         let mut ppw = 0.0;
         for s in 0..seeds {
@@ -122,8 +126,15 @@ pub fn run(cfg: &ExperimentConfig, hdtr: &CorpusTelemetry, spec: &CorpusTelemetr
 
 impl std::fmt::Display for Fig10 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Figure 10 — blindspot mitigation, step by step (SPEC RSV)")?;
-        writeln!(f, "{:40} {:>8} {:>10} {:>10}", "step", "RSV", "paper RSV", "PPW gain")?;
+        writeln!(
+            f,
+            "Figure 10 — blindspot mitigation, step by step (SPEC RSV)"
+        )?;
+        writeln!(
+            f,
+            "{:40} {:>8} {:>10} {:>10}",
+            "step", "RSV", "paper RSV", "PPW gain"
+        )?;
         for s in &self.steps {
             writeln!(
                 f,

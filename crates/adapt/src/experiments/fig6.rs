@@ -125,9 +125,7 @@ pub fn run(cfg: &ExperimentConfig, hdtr: &CorpusTelemetry) -> Fig6 {
         .iter()
         .enumerate()
         .filter(|(_, p)| {
-            p.fits_50k_budget
-                && p.pgos_mean >= 0.95 * best_mean
-                && p.rsv_mean <= min_rsv + 0.001
+            p.fits_50k_budget && p.pgos_mean >= 0.95 * best_mean && p.rsv_mean <= min_rsv + 0.001
         })
         .min_by(|a, b| {
             a.1.pgos_std

@@ -48,10 +48,6 @@ impl std::fmt::Display for Fig7 {
         for (name, r) in &self.per_benchmark {
             writeln!(f, "{:20} {:>5.1}%", name, 100.0 * r)?;
         }
-        writeln!(
-            f,
-            "average: {:.1}% (paper: 45.7%)",
-            100.0 * self.average
-        )
+        writeln!(f, "average: {:.1}% (paper: 45.7%)", 100.0 * self.average)
     }
 }

@@ -75,7 +75,10 @@ pub fn run(cfg: &ExperimentConfig, hdtr: &CorpusTelemetry, spec: &CorpusTelemetr
 
 impl std::fmt::Display for Fig8 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Figure 8 — SPEC2017 PPW gain and RSV per adaptation model")?;
+        writeln!(
+            f,
+            "Figure 8 — SPEC2017 PPW gain and RSV per adaptation model"
+        )?;
         writeln!(
             f,
             "{:14} {:>9} {:>8} {:>9} {:>8} {:>9} {:>8} {:>16}",

@@ -136,6 +136,9 @@ impl std::fmt::Display for Fig9 {
             100.0 * self.overall.1.rsv,
             100.0 * wb
         )?;
-        writeln!(f, "(paper: CHARSTAR hits 77.8% RSV on roms_s; Best RF < 1% everywhere)")
+        writeln!(
+            f,
+            "(paper: CHARSTAR hits 77.8% RSV on roms_s; Best RF < 1% everywhere)"
+        )
     }
 }

@@ -24,11 +24,7 @@ pub fn run(cfg: &ExperimentConfig) -> Table1 {
 impl std::fmt::Display for Table1 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "Table 1 — HDTR corpus composition")?;
-        writeln!(
-            f,
-            "{:35} {:>8} {:>12}",
-            "Category", "ours", "paper (593)"
-        )?;
+        writeln!(f, "{:35} {:>8} {:>12}", "Category", "ours", "paper (593)")?;
         for ((cat, n), paper) in self.ours.per_category.iter().zip(self.paper) {
             writeln!(f, "{:35} {:>8} {:>12}", cat.name(), n, paper)?;
         }

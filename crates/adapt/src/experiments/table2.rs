@@ -47,7 +47,11 @@ pub fn run(cfg: &ExperimentConfig) -> Table2 {
 impl std::fmt::Display for Table2 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "Table 2 — SPEC2017 test set (workloads per benchmark)")?;
-        writeln!(f, "{:20} {:>6} {:>10} {:>10}", "Benchmark", "suite", "workloads", "simpoints")?;
+        writeln!(
+            f,
+            "{:20} {:>6} {:>10} {:>10}",
+            "Benchmark", "suite", "workloads", "simpoints"
+        )?;
         for r in &self.rows {
             writeln!(
                 f,

@@ -9,8 +9,8 @@ use psca_cpu::Mode;
 use psca_ml::crossval::group_folds;
 use psca_ml::metrics::Confusion;
 use psca_ml::{
-    KernelSvm, LinearSvm, LogisticRegression, Mlp, MlpConfig, RandomForest,
-    RandomForestConfig, Standardizer,
+    KernelSvm, LinearSvm, LogisticRegression, Mlp, MlpConfig, RandomForest, RandomForestConfig,
+    Standardizer,
 };
 use psca_telemetry::Event;
 use psca_uc::{ops_budget, BudgetRow, CpuSpec, FirmwareModel, McuSpec};
@@ -87,7 +87,15 @@ pub fn run(cfg: &ExperimentConfig, hdtr: &CorpusTelemetry) -> Table3 {
         &tune,
         seed,
     ));
-    models.push(row(&mlp_big, "MLP 3 layers, 32/32/16 filters, ReLU", 12, &val, 6_162, 0.8138, &pgos_of));
+    models.push(row(
+        &mlp_big,
+        "MLP 3 layers, 32/32/16 filters, ReLU",
+        12,
+        &val,
+        6_162,
+        0.8138,
+        &pgos_of,
+    ));
 
     let tree16 = FirmwareModel::Forest({
         let mut rf = RandomForest::fit(
@@ -102,7 +110,15 @@ pub fn run(cfg: &ExperimentConfig, hdtr: &CorpusTelemetry) -> Table3 {
         rf.set_threshold(0.5);
         rf
     });
-    models.push(row(&tree16, "Decision Tree, max depth 16", 12, &val, 133, 0.7778, &pgos_of));
+    models.push(row(
+        &tree16,
+        "Decision Tree, max depth 16",
+        12,
+        &val,
+        133,
+        0.7778,
+        &pgos_of,
+    ));
 
     // The χ² kernel assumes non-negative (histogram-like) inputs, so it
     // consumes the raw per-cycle counters rather than standardized ones.
@@ -113,7 +129,15 @@ pub fn run(cfg: &ExperimentConfig, hdtr: &CorpusTelemetry) -> Table3 {
         1_000,
         seed ^ 2,
     ));
-    models.push(row(&chi2, "SVM, chi^2 kernel, <=1000 SVs", 12, &val_raw, 121_000, 0.6754, &pgos_of));
+    models.push(row(
+        &chi2,
+        "SVM, chi^2 kernel, <=1000 SVs",
+        12,
+        &val_raw,
+        121_000,
+        0.6754,
+        &pgos_of,
+    ));
 
     let rf16 = FirmwareModel::Forest(RandomForest::fit(
         &RandomForestConfig {
@@ -124,16 +148,52 @@ pub fn run(cfg: &ExperimentConfig, hdtr: &CorpusTelemetry) -> Table3 {
         &tune,
         seed ^ 3,
     ));
-    models.push(row(&rf16, "Random Forest, 16 trees, depth 8", 12, &val, 1_074, 0.6667, &pgos_of));
+    models.push(row(
+        &rf16,
+        "Random Forest, 16 trees, depth 8",
+        12,
+        &val,
+        1_074,
+        0.6667,
+        &pgos_of,
+    ));
 
-    let rf8 = FirmwareModel::Forest(RandomForest::fit(&RandomForestConfig::best_rf(), &tune, seed ^ 4));
-    models.push(row(&rf8, "Random Forest, 8 trees, depth 8", 12, &val, 538, 0.6568, &pgos_of));
+    let rf8 = FirmwareModel::Forest(RandomForest::fit(
+        &RandomForestConfig::best_rf(),
+        &tune,
+        seed ^ 4,
+    ));
+    models.push(row(
+        &rf8,
+        "Random Forest, 8 trees, depth 8",
+        12,
+        &val,
+        538,
+        0.6568,
+        &pgos_of,
+    ));
 
     let mlp_small = FirmwareModel::Mlp(Mlp::fit(&MlpConfig::best_mlp(), &tune, seed ^ 5));
-    models.push(row(&mlp_small, "MLP 3 layers, 8/8/4 filters, ReLU", 12, &val, 678, 0.6099, &pgos_of));
+    models.push(row(
+        &mlp_small,
+        "MLP 3 layers, 8/8/4 filters, ReLU",
+        12,
+        &val,
+        678,
+        0.6099,
+        &pgos_of,
+    ));
 
     let mlp_ravi = FirmwareModel::Mlp(Mlp::fit(&MlpConfig::charstar(), &tune8, seed ^ 6));
-    models.push(row(&mlp_ravi, "MLP 1 layer, 10 filters (Ravi et al.)", 8, &val8, 292, 0.5790, &pgos_of));
+    models.push(row(
+        &mlp_ravi,
+        "MLP 1 layer, 10 filters (Ravi et al.)",
+        8,
+        &val8,
+        292,
+        0.5790,
+        &pgos_of,
+    ));
 
     let svm_ens = FirmwareModel::SvmEnsemble(LinearSvm::fit_ensemble(
         &tune,
@@ -142,10 +202,26 @@ pub fn run(cfg: &ExperimentConfig, hdtr: &CorpusTelemetry) -> Table3 {
         (tune.len() * 8).min(20_000),
         seed ^ 7,
     ));
-    models.push(row(&svm_ens, "SVM, linear kernel, 5-ensemble", 12, &val, 412, 0.5450, &pgos_of));
+    models.push(row(
+        &svm_ens,
+        "SVM, linear kernel, 5-ensemble",
+        12,
+        &val,
+        412,
+        0.5450,
+        &pgos_of,
+    ));
 
     let lr = FirmwareModel::Logistic(LogisticRegression::fit(&tune, 1e-4, 150));
-    models.push(row(&lr, "Logistic Regression", 12, &val, 158, 0.3833, &pgos_of));
+    models.push(row(
+        &lr,
+        "Logistic Regression",
+        12,
+        &val,
+        158,
+        0.3833,
+        &pgos_of,
+    ));
 
     // Extension beyond the paper's zoo: gradient-boosted trees share the
     // forest's branch-free firmware kernel at lower depth.
@@ -153,9 +229,21 @@ pub fn run(cfg: &ExperimentConfig, hdtr: &CorpusTelemetry) -> Table3 {
         &psca_ml::gbdt::GbdtConfig::default(),
         &tune,
     ));
-    models.push(row(&gbdt, "Gradient Boosted Trees 8x4 (extension)", 12, &val, 0, 0.0, &pgos_of));
+    models.push(row(
+        &gbdt,
+        "Gradient Boosted Trees 8x4 (extension)",
+        12,
+        &val,
+        0,
+        0.0,
+        &pgos_of,
+    ));
 
-    models.sort_by(|a, b| b.pgos.partial_cmp(&a.pgos).unwrap_or(std::cmp::Ordering::Equal));
+    models.sort_by(|a, b| {
+        b.pgos
+            .partial_cmp(&a.pgos)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     Table3 { budget, models }
 }
 
@@ -181,10 +269,21 @@ fn row(
 
 impl std::fmt::Display for Table3 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Table 3 — microcontroller budgets (CPU 16,000 MIPS / uC 500 MIPS, 50% duty)")?;
-        writeln!(f, "{:>12} {:>10} {:>10}", "granularity", "max ops", "budget")?;
+        writeln!(
+            f,
+            "Table 3 — microcontroller budgets (CPU 16,000 MIPS / uC 500 MIPS, 50% duty)"
+        )?;
+        writeln!(
+            f,
+            "{:>12} {:>10} {:>10}",
+            "granularity", "max ops", "budget"
+        )?;
         for b in &self.budget {
-            writeln!(f, "{:>12} {:>10} {:>10}", b.granularity, b.max_ops, b.budget)?;
+            writeln!(
+                f,
+                "{:>12} {:>10} {:>10}",
+                b.granularity, b.max_ops, b.budget
+            )?;
         }
         writeln!(f)?;
         writeln!(

@@ -68,9 +68,14 @@ mod tests {
     #[test]
     fn table4_selects_12_streams() {
         let mut traces = Vec::new();
-        for (i, a) in [Archetype::Balanced, Archetype::MemBound, Archetype::Branchy, Archetype::StreamFpWide]
-            .iter()
-            .enumerate()
+        for (i, a) in [
+            Archetype::Balanced,
+            Archetype::MemBound,
+            Archetype::Branchy,
+            Archetype::StreamFpWide,
+        ]
+        .iter()
+        .enumerate()
         {
             let mut gen = PhaseGenerator::new(a.center(), i as u64 + 70);
             traces.push(collect_paired(&mut gen, 2_000, 12, 2_000, i as u32, "t", 1));

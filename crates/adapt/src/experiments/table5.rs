@@ -60,7 +60,10 @@ pub fn run(cfg: &ExperimentConfig, hdtr: &CorpusTelemetry, spec: &CorpusTelemetr
 
 impl std::fmt::Display for Table5 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Table 5 — post-silicon SLA re-targeting (Best RF on SPEC)")?;
+        writeln!(
+            f,
+            "Table 5 — post-silicon SLA re-targeting (Best RF on SPEC)"
+        )?;
         writeln!(
             f,
             "{:>6} {:>8} {:>10} {:>10}   {:>24}",

@@ -124,7 +124,10 @@ impl Table6 {
 
 impl std::fmt::Display for Table6 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Table 6 — application-specific RF retraining (leave-one-workload-out)")?;
+        writeln!(
+            f,
+            "Table 6 — application-specific RF retraining (leave-one-workload-out)"
+        )?;
         writeln!(
             f,
             "{:20} {:>9} {:>9} {:>7} {:>9} {:>9}",

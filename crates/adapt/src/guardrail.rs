@@ -106,6 +106,17 @@ impl Guardrail {
                     self.trips += 1;
                     self.consecutive_breaches = 0;
                     self.cooldown_left = self.cfg.cooldown;
+                    psca_obs::counter("adapt.guardrail.trips").inc();
+                    psca_obs::emit(
+                        psca_obs::Level::Warn,
+                        "guardrail.trip",
+                        &[
+                            ("trips", self.trips.into()),
+                            ("ipc", ipc.into()),
+                            ("ref_ipc", ref_ipc.into()),
+                            ("cooldown", self.cfg.cooldown.into()),
+                        ],
+                    );
                 }
             }
         } else {
@@ -125,6 +136,12 @@ impl Guardrail {
             // Reference-refresh probe: one ungated window.
             self.gated_streak = 0;
             self.probes += 1;
+            psca_obs::counter("adapt.guardrail.probes").inc();
+            psca_obs::emit(
+                psca_obs::Level::Debug,
+                "guardrail.probe",
+                &[("probes", self.probes.into())],
+            );
             return false;
         }
         wants_gate

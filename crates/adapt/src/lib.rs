@@ -43,6 +43,4 @@ pub use config::ExperimentConfig;
 pub use controller::{record_trace, run_closed_loop, ClosedLoopResult};
 pub use paired::{collect_paired, CorpusTelemetry, TraceTelemetry};
 pub use sla::Sla;
-pub use train::{
-    build_dataset, tune_threshold, Featurizer, ModelKind, TrainedAdaptModel, HORIZON,
-};
+pub use train::{build_dataset, tune_threshold, Featurizer, ModelKind, TrainedAdaptModel, HORIZON};

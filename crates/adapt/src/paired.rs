@@ -114,8 +114,10 @@ impl TraceTelemetry {
                 }
                 acc
             };
-            out.rows_hi.push(agg(&self.rows_hi, &self.cycles_hi, cyc_hi));
-            out.rows_lo.push(agg(&self.rows_lo, &self.cycles_lo, cyc_lo));
+            out.rows_hi
+                .push(agg(&self.rows_hi, &self.cycles_hi, cyc_hi));
+            out.rows_lo
+                .push(agg(&self.rows_lo, &self.cycles_lo, cyc_lo));
             out.ipc_hi.push(insts as f64 / cyc_hi.max(1) as f64);
             out.ipc_lo.push(insts as f64 / cyc_lo.max(1) as f64);
             out.cycles_hi.push(cyc_hi);
@@ -352,7 +354,10 @@ mod tests {
         let a = t.aggregate(3);
         assert_eq!(a.len(), 4);
         assert_eq!(a.insts.iter().sum::<u64>(), t.insts.iter().sum::<u64>());
-        assert_eq!(a.cycles_hi.iter().sum::<u64>(), t.cycles_hi.iter().sum::<u64>());
+        assert_eq!(
+            a.cycles_hi.iter().sum::<u64>(),
+            t.cycles_hi.iter().sum::<u64>()
+        );
         let e_orig: f64 = t.energy_lo.iter().sum();
         let e_agg: f64 = a.energy_lo.iter().sum();
         assert!((e_orig - e_agg).abs() < 1e-6);
@@ -370,9 +375,16 @@ mod tests {
     #[test]
     fn features_project_named_events() {
         let t = quick_trace(Archetype::Balanced, 4);
-        let f = t.features(Mode::HighPerf, 0, &[Event::InstRetired, Event::LoadsRetired]);
+        let f = t.features(
+            Mode::HighPerf,
+            0,
+            &[Event::InstRetired, Event::LoadsRetired],
+        );
         assert_eq!(f.len(), 2);
-        assert!((f[0] - t.ipc_hi[0]).abs() < 1e-9, "InstRetired/cycle is IPC");
+        assert!(
+            (f[0] - t.ipc_hi[0]).abs() < 1e-9,
+            "InstRetired/cycle is IPC"
+        );
     }
 
     #[test]

@@ -102,18 +102,30 @@ pub fn train_app_specific(
     let g = halves.granularity;
     let w = crate::train::violation_window(cfg, g);
     let half = half_forest_config();
-    let app_hi = featurize_windows(&halves.feat_hi, app_corpus, Mode::HighPerf, g, &cfg.training_sla());
-    let app_lo = featurize_windows(&halves.feat_lo, app_corpus, Mode::LowPower, g, &cfg.training_sla());
-    let mut fw_hi = FirmwareModel::Forest(
-        halves
-            .rf_hi
-            .combine(&RandomForest::fit(&half, &app_hi, seed ^ 0xA)),
+    let app_hi = featurize_windows(
+        &halves.feat_hi,
+        app_corpus,
+        Mode::HighPerf,
+        g,
+        &cfg.training_sla(),
     );
-    let mut fw_lo = FirmwareModel::Forest(
-        halves
-            .rf_lo
-            .combine(&RandomForest::fit(&half, &app_lo, seed ^ 0xB)),
+    let app_lo = featurize_windows(
+        &halves.feat_lo,
+        app_corpus,
+        Mode::LowPower,
+        g,
+        &cfg.training_sla(),
     );
+    let mut fw_hi = FirmwareModel::Forest(halves.rf_hi.combine(&RandomForest::fit(
+        &half,
+        &app_hi,
+        seed ^ 0xA,
+    )));
+    let mut fw_lo = FirmwareModel::Forest(halves.rf_lo.combine(&RandomForest::fit(
+        &half,
+        &app_lo,
+        seed ^ 0xB,
+    )));
     // Balanced calibration: the application data plus an equal-sized
     // slice of high-diversity data — app-only calibration falls into the
     // in-sample-RSV trap (app trees memorize their tuning samples), while
@@ -126,8 +138,20 @@ pub fn train_app_specific(
     };
     let cal_hi = Dataset::concat(&[&app_hi, &hdtr_slice(&halves.data_hi, app_hi.len())]);
     let cal_lo = Dataset::concat(&[&app_lo, &hdtr_slice(&halves.data_lo, app_lo.len())]);
-    tune_threshold(&mut fw_hi, cal_hi.features(), cal_hi.labels(), w, THRESHOLD_TARGET_RSV);
-    tune_threshold(&mut fw_lo, cal_lo.features(), cal_lo.labels(), w, THRESHOLD_TARGET_RSV);
+    tune_threshold(
+        &mut fw_hi,
+        cal_hi.features(),
+        cal_hi.labels(),
+        w,
+        THRESHOLD_TARGET_RSV,
+    );
+    tune_threshold(
+        &mut fw_lo,
+        cal_lo.features(),
+        cal_lo.labels(),
+        w,
+        THRESHOLD_TARGET_RSV,
+    );
     let ops = fw_hi.ops_per_prediction(TABLE4_COUNTERS.len());
     TrainedAdaptModel {
         kind: ModelKind::BestRf,
@@ -265,7 +289,7 @@ mod tests {
         // Customer app: a fotonik-like FP streamer the corpus lacks.
         let suite = spec_suite(cfg.sub_seed("spec"), cfg.spec_phase_len);
         let app = &suite[18]; // 649.fotonik3d_s
-        let mut trace_of = |input: u64| {
+        let trace_of = |input: u64| {
             let mut src = app.app.trace(input);
             collect_paired(&mut src, 2_000, 48, 2_000, 0, app.bench.name, input)
         };

@@ -51,7 +51,10 @@ impl Sla {
     /// A copy with a scaled measurement window (for scaled experiments).
     pub fn with_t_sla_insts(self, t_sla_insts: u64) -> Sla {
         assert!(t_sla_insts > 0, "T_SLA must be positive");
-        Sla { t_sla_insts, ..self }
+        Sla {
+            t_sla_insts,
+            ..self
+        }
     }
 
     /// Ground-truth label: does a low-power interval meet the SLA?

@@ -154,11 +154,7 @@ pub fn build_dataset_with_horizon(
         for t in 0..agg.len().saturating_sub(horizon) {
             let span = t * granularity..(t + 1) * granularity;
             let (rows, cycles) = mode_rows(trace, mode);
-            feats.push(aggregate_window(
-                &rows[span.clone()],
-                &cycles[span],
-                events,
-            ));
+            feats.push(aggregate_window(&rows[span.clone()], &cycles[span], events));
             labels.push(agg_labels[t + horizon]);
             groups.push(trace.app_id);
         }
@@ -285,10 +281,7 @@ pub fn fit_standard_featurizer(events: &[Event], tuning: &Dataset) -> Featurizer
 
 /// Fits a histogram featurizer on tuning windows (10 buckets, as Dubach
 /// et al. use).
-pub fn fit_histogram_featurizer(
-    events: &[Event],
-    tuning_windows: &[Vec<Vec<f64>>],
-) -> Featurizer {
+pub fn fit_histogram_featurizer(events: &[Event], tuning_windows: &[Vec<Vec<f64>>]) -> Featurizer {
     let all_rows: Vec<&[f64]> = tuning_windows
         .iter()
         .flat_map(|w| w.iter().map(|r| r.as_slice()))
@@ -340,7 +333,10 @@ mod tests {
 
     fn tiny_corpus() -> CorpusTelemetry {
         let mut traces = Vec::new();
-        for (i, a) in [Archetype::DepChain, Archetype::ScalarIlp].iter().enumerate() {
+        for (i, a) in [Archetype::DepChain, Archetype::ScalarIlp]
+            .iter()
+            .enumerate()
+        {
             let mut gen = PhaseGenerator::new(a.center(), i as u64 + 1);
             traces.push(crate::collect_paired(
                 &mut gen, 2_000, 12, 2_000, i as u32, "t", 1,

@@ -10,9 +10,7 @@ use crate::train::{
     TrainedAdaptModel, THRESHOLD_TARGET_RSV,
 };
 use psca_cpu::Mode;
-use psca_ml::{
-    Dataset, LogisticRegression, Mlp, MlpConfig, RandomForest, RandomForestConfig,
-};
+use psca_ml::{Dataset, LogisticRegression, Mlp, MlpConfig, RandomForest, RandomForestConfig};
 use psca_telemetry::Event;
 use psca_uc::{ops_budget, CpuSpec, FirmwareModel, McuSpec};
 
@@ -41,24 +39,45 @@ pub fn counter_set(kind: ModelKind) -> Vec<Event> {
 /// Trains one adaptation model (both mode predictors) on a training
 /// corpus, tuning each predictor's sensitivity to keep tuning-set RSV at
 /// or below 1% (§6.3).
-pub fn train(kind: ModelKind, corpus: &CorpusTelemetry, cfg: &ExperimentConfig) -> TrainedAdaptModel {
+pub fn train(
+    kind: ModelKind,
+    corpus: &CorpusTelemetry,
+    cfg: &ExperimentConfig,
+) -> TrainedAdaptModel {
     let events = counter_set(kind);
     // A model must see at least HORIZON+1 prediction windows per trace to
     // have any training samples; clamp coarse granularities accordingly
     // (relevant when scaled traces are shorter than SRCH's original
     // 10M-instruction interval).
-    let max_g = corpus
-        .traces
-        .iter()
-        .map(|t| t.len())
-        .min()
-        .unwrap_or(3)
-        / (crate::train::HORIZON + 1);
+    let max_g =
+        corpus.traces.iter().map(|t| t.len()).min().unwrap_or(3) / (crate::train::HORIZON + 1);
     let g = granularity_intervals(kind, cfg).clamp(1, max_g.max(1));
     let w = violation_window(cfg, g);
+    let _span = psca_obs::SpanTimer::start("adapt.train");
     let mut per_mode = Vec::with_capacity(2);
     for mode in [Mode::HighPerf, Mode::LowPower] {
-        per_mode.push(train_mode(kind, corpus, cfg, mode, &events, g, w));
+        let round_start = std::time::Instant::now();
+        let round = train_mode(kind, corpus, cfg, mode, &events, g, w);
+        let wall_ns = round_start.elapsed().as_nanos() as u64;
+        psca_obs::counter("adapt.train.rounds").inc();
+        psca_obs::histogram("adapt.train.round_ns").record(wall_ns);
+        if psca_obs::enabled(psca_obs::Level::Info) {
+            psca_obs::emit(
+                psca_obs::Level::Info,
+                "train.round",
+                &[
+                    ("model", kind.name().into()),
+                    ("mode", mode.to_string().into()),
+                    ("wall_ms", (wall_ns as f64 / 1e6).into()),
+                    ("granularity", g.into()),
+                    (
+                        "train_error",
+                        round_error(&round, corpus, cfg, mode, g).into(),
+                    ),
+                ],
+            );
+        }
+        per_mode.push(round);
     }
     let (feat_lo, fw_lo) = per_mode.pop().unwrap();
     let (feat_hi, fw_hi) = per_mode.pop().unwrap();
@@ -74,6 +93,27 @@ pub fn train(kind: ModelKind, corpus: &CorpusTelemetry, cfg: &ExperimentConfig) 
         granularity: g,
         ops_per_prediction: ops,
     }
+}
+
+/// In-sample misclassification rate of a freshly-trained mode predictor —
+/// the "loss" reported in `train.round` events. Only computed when the
+/// event would actually be delivered.
+fn round_error(
+    round: &(Featurizer, FirmwareModel),
+    corpus: &CorpusTelemetry,
+    cfg: &ExperimentConfig,
+    mode: Mode,
+    g: usize,
+) -> f64 {
+    let (feat, fw) = round;
+    let data = featurize_windows(feat, corpus, mode, g, &cfg.training_sla());
+    if data.is_empty() {
+        return 0.0;
+    }
+    let wrong = (0..data.len())
+        .filter(|&i| fw.predict(data.features().row(i)) as u8 != data.labels()[i])
+        .count();
+    wrong as f64 / data.len() as f64
 }
 
 fn fw_input_dim(feat: &Featurizer) -> Option<usize> {
@@ -100,7 +140,13 @@ fn train_mode(
             let (fit_set, cal_set) = calibration_split(&data, cfg);
             let lr = LogisticRegression::fit(&fit_set, 1e-4, 150);
             let mut fw = FirmwareModel::Logistic(lr);
-            tune_threshold(&mut fw, cal_set.features(), cal_set.labels(), w, THRESHOLD_TARGET_RSV);
+            tune_threshold(
+                &mut fw,
+                cal_set.features(),
+                cal_set.labels(),
+                w,
+                THRESHOLD_TARGET_RSV,
+            );
             (feat, fw)
         }
         _ => {
@@ -126,7 +172,13 @@ fn train_mode(
                 )),
                 _ => unreachable!(),
             };
-            tune_threshold(&mut fw, cal_set.features(), cal_set.labels(), w, THRESHOLD_TARGET_RSV);
+            tune_threshold(
+                &mut fw,
+                cal_set.features(),
+                cal_set.labels(),
+                w,
+                THRESHOLD_TARGET_RSV,
+            );
             (feat, fw)
         }
     }
@@ -137,7 +189,10 @@ fn train_mode(
 /// applications is essential for models that can memorize their tuning
 /// samples (forests): their in-sample RSV is always ~0, which would leave
 /// thresholds at their most aggressive setting.
-fn calibration_split(data: &psca_ml::Dataset, cfg: &ExperimentConfig) -> (psca_ml::Dataset, psca_ml::Dataset) {
+fn calibration_split(
+    data: &psca_ml::Dataset,
+    cfg: &ExperimentConfig,
+) -> (psca_ml::Dataset, psca_ml::Dataset) {
     if data.distinct_groups().len() < 3 {
         // Too few applications to split: calibrate in-sample.
         return (data.clone(), data.clone());
@@ -174,7 +229,13 @@ pub fn train_custom_mlp(
         let feat = fit_standard_featurizer(events, &raw);
         let data = featurize_windows(&feat, corpus, mode, g, &cfg.training_sla());
         let mut fw = FirmwareModel::Mlp(Mlp::fit(&mlp_cfg, &data, seed ^ mode_tag(mode)));
-        tune_threshold(&mut fw, data.features(), data.labels(), w, THRESHOLD_TARGET_RSV);
+        tune_threshold(
+            &mut fw,
+            data.features(),
+            data.labels(),
+            w,
+            THRESHOLD_TARGET_RSV,
+        );
         per_mode.push((feat, fw));
     }
     let (feat_lo, fw_lo) = per_mode.pop().unwrap();
@@ -204,9 +265,21 @@ pub fn train_rf_from_datasets(
     seed: u64,
 ) -> TrainedAdaptModel {
     let mut fw_hi = FirmwareModel::Forest(RandomForest::fit(rf_cfg, data_hi, seed ^ 0x1111));
-    tune_threshold(&mut fw_hi, data_hi.features(), data_hi.labels(), w, THRESHOLD_TARGET_RSV);
+    tune_threshold(
+        &mut fw_hi,
+        data_hi.features(),
+        data_hi.labels(),
+        w,
+        THRESHOLD_TARGET_RSV,
+    );
     let mut fw_lo = FirmwareModel::Forest(RandomForest::fit(rf_cfg, data_lo, seed ^ 0x2222));
-    tune_threshold(&mut fw_lo, data_lo.features(), data_lo.labels(), w, THRESHOLD_TARGET_RSV);
+    tune_threshold(
+        &mut fw_lo,
+        data_lo.features(),
+        data_lo.labels(),
+        w,
+        THRESHOLD_TARGET_RSV,
+    );
     let ops = fw_hi.ops_per_prediction(data_hi.dim());
     TrainedAdaptModel {
         kind: ModelKind::BestRf,
@@ -243,6 +316,20 @@ pub fn fits_budget(model: &TrainedAdaptModel) -> bool {
         &McuSpec::paper(),
         model.granularity as u64 * 10_000,
     );
+    let headroom = 1.0 - model.ops_per_prediction as f64 / row.budget.max(1) as f64;
+    psca_obs::gauge("uc.budget.headroom").set(headroom);
+    if psca_obs::enabled(psca_obs::Level::Debug) {
+        psca_obs::emit(
+            psca_obs::Level::Debug,
+            "uc.budget.check",
+            &[
+                ("model", model.kind.name().into()),
+                ("ops", model.ops_per_prediction.into()),
+                ("budget", row.budget.into()),
+                ("headroom", headroom.into()),
+            ],
+        );
+    }
     model.ops_per_prediction <= row.budget
 }
 
@@ -272,21 +359,14 @@ mod tests {
     fn all_zoo_models_train_and_predict() {
         let corpus = tiny_corpus();
         let cfg = ExperimentConfig::quick();
-        for kind in [
-            ModelKind::BestRf,
-            ModelKind::Charstar,
-            ModelKind::SrchFine,
-        ] {
+        for kind in [ModelKind::BestRf, ModelKind::Charstar, ModelKind::SrchFine] {
             let model = train(kind, &corpus, &cfg);
             assert_eq!(model.kind, kind);
             assert!(model.ops_per_prediction > 0);
             let trace = &corpus.traces[0];
             let g = model.granularity;
-            let decision = model.predict(
-                Mode::HighPerf,
-                &trace.rows_hi[0..g],
-                &trace.cycles_hi[0..g],
-            );
+            let decision =
+                model.predict(Mode::HighPerf, &trace.rows_hi[0..g], &trace.cycles_hi[0..g]);
             let _ = decision;
         }
     }

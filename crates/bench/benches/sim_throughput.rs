@@ -1,7 +1,7 @@
 //! Simulator throughput: instructions per second through the clustered
 //! core in each mode and for representative archetypes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{BenchmarkId, Criterion, Throughput};
 use psca_cpu::{ClusterSim, CpuConfig, Mode};
 use psca_workloads::{Archetype, PhaseGenerator};
 
@@ -9,7 +9,11 @@ fn sim_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim_throughput");
     const N: u64 = 50_000;
     group.throughput(Throughput::Elements(N));
-    for archetype in [Archetype::Balanced, Archetype::MemBound, Archetype::ScalarIlp] {
+    for archetype in [
+        Archetype::Balanced,
+        Archetype::MemBound,
+        Archetype::ScalarIlp,
+    ] {
         for mode in [Mode::HighPerf, Mode::LowPower] {
             let label = format!("{archetype:?}/{mode}");
             group.bench_with_input(BenchmarkId::new("run_interval", label), &(), |b, _| {
@@ -41,9 +45,31 @@ fn mode_switch(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = sim_throughput, mode_switch
+/// Custom harness entry (instead of `criterion_main!`) so the measured
+/// simulated-instructions/sec baseline lands in a `target/obs/` run
+/// report alongside the normal criterion output.
+fn main() {
+    let mut criterion = Criterion::default().sample_size(10);
+    let mut report = psca_obs::RunReport::new("bench-sim_throughput");
+    sim_throughput(&mut criterion);
+    mode_switch(&mut criterion);
+    let mut best = 0.0f64;
+    for m in criterion.measurements() {
+        report.add_phase(&m.id, m.mean_s);
+        if let Some(eps) = m.elements_per_sec() {
+            report.set(&format!("sim_insts_per_sec.{}", m.id), eps);
+            best = best.max(eps);
+        }
+    }
+    if best > 0.0 {
+        report.set("sim_insts_per_sec", best);
+    }
+    // cargo runs benches with cwd = the package dir, so anchor the
+    // artifact at the workspace target dir rather than a cwd-relative
+    // `target/obs`.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/obs");
+    match report.write(&dir) {
+        Ok(path) => eprintln!("[bench] run report: {}", path.display()),
+        Err(e) => eprintln!("[bench] failed to write run report: {e}"),
+    }
 }
-criterion_main!(benches);

@@ -10,6 +10,7 @@ use psca_adapt::experiments::{ablations, fig10, fig4, fig5, fig6, fig7, fig8, fi
 use psca_adapt::experiments::{table1, table2, table3, table4, table5, table6};
 use psca_adapt::ExperimentConfig;
 use psca_bench::{Corpora, EXPERIMENTS};
+use psca_obs::RunReport;
 use std::time::Instant;
 
 fn main() {
@@ -35,8 +36,20 @@ fn main() {
         cfg.hdtr_apps,
         cfg.sla.p_sla
     );
+    psca_obs::init_from_env();
+    let run_id = format!(
+        "repro-{}{}",
+        if quick { "quick" } else { "full" },
+        if wanted.len() == EXPERIMENTS.len() {
+            String::new()
+        } else {
+            format!("-{}", wanted.join("+"))
+        }
+    );
+    let mut report = RunReport::new(&run_id);
     let mut corpora = Corpora::new();
     for id in &wanted {
+        let _span = psca_obs::SpanTimer::start(&format!("repro.{id}"));
         let t0 = Instant::now();
         match id.as_str() {
             "table1" => println!("{}", table1::run(&cfg)),
@@ -110,10 +123,7 @@ fn main() {
                 );
                 println!(
                     "{}",
-                    psca_bench::chart::bar_chart("RSV", &rsv, 40, |v| format!(
-                        "{:.2}%",
-                        100.0 * v
-                    ))
+                    psca_bench::chart::bar_chart("RSV", &rsv, 40, |v| format!("{:.2}%", 100.0 * v))
                 );
             }
             "fig9" => {
@@ -155,18 +165,71 @@ fn main() {
             "ablate-horizon" => {
                 let hdtr = corpora.hdtr(&cfg).clone();
                 let points = ablations::horizon(&cfg, &hdtr);
-                println!("{}", ablations::format_points("prediction horizon", &points));
+                println!(
+                    "{}",
+                    ablations::format_points("prediction horizon", &points)
+                );
             }
             "ablate-normalization" => {
                 let hdtr = corpora.hdtr(&cfg).clone();
                 let points = ablations::normalization(&cfg, &hdtr);
-                println!("{}", ablations::format_points("counter normalization", &points));
+                println!(
+                    "{}",
+                    ablations::format_points("counter normalization", &points)
+                );
             }
             other => {
                 eprintln!("[repro] unknown experiment '{other}'. Known: {EXPERIMENTS:?}");
                 std::process::exit(2);
             }
         }
-        eprintln!("[repro] {id} done in {:.1}s\n", t0.elapsed().as_secs_f64());
+        let wall = t0.elapsed().as_secs_f64();
+        report.add_phase(id, wall);
+        eprintln!("[repro] {id} done in {wall:.1}s\n");
     }
+    finalize_report(&mut report);
+}
+
+/// Derives the headline summary from the global metrics and writes the
+/// run-report artifact to `target/obs/`.
+fn finalize_report(report: &mut RunReport) {
+    let snap = psca_obs::snapshot();
+    let c = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    let insts = c("cpu.sim.instructions");
+    let cycles = c("cpu.sim.cycles");
+    let wall = report.total_wall_s();
+    report.set("sim_instructions", insts);
+    if wall > 0.0 {
+        report.set("sim_insts_per_sec", insts as f64 / wall);
+    }
+    if cycles > 0 {
+        report.set(
+            "low_power_residency",
+            c("cpu.sim.cycles_low_power") as f64 / cycles as f64,
+        );
+    }
+    let windows = c("adapt.windows");
+    report.set("windows", windows);
+    report.set("windows_gated_low", c("adapt.windows_gated_low"));
+    report.set("guardrail_trips", c("adapt.guardrail.trips"));
+    report.set("sla_violations", c("adapt.sla.violations"));
+    let predictions = c("adapt.predictions");
+    if predictions > 0 {
+        report.set(
+            "predictor_accuracy",
+            1.0 - c("adapt.mispredictions") as f64 / predictions as f64,
+        );
+    }
+    if let Some(&ppw) = snap.gauges.get("adapt.eval.last_ppw_gain") {
+        report.set("last_ppw_gain", ppw);
+    }
+    if let Some(&rsv) = snap.gauges.get("adapt.eval.last_rsv") {
+        report.set("last_rsv", rsv);
+    }
+    match report.write_default() {
+        Ok(path) => eprintln!("[repro] run report: {}", path.display()),
+        Err(e) => eprintln!("[repro] failed to write run report: {e}"),
+    }
+    println!("{}", report.render());
+    psca_obs::flush();
 }

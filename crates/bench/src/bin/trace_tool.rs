@@ -33,10 +33,12 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
 }
 
 fn main() -> ExitCode {
+    psca_obs::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         return usage();
     };
+    let _span = psca_obs::SpanTimer::start(&format!("trace_tool.{cmd}"));
     match cmd.as_str() {
         "record" => record(&args),
         "stats" => stats(&args),
@@ -141,10 +143,37 @@ fn replay(args: &[String]) -> ExitCode {
         sim.set_mode(Mode::LowPower);
     }
     println!("replaying {path} in {} mode...", sim.mode());
+    let mut report = psca_obs::RunReport::new(&format!(
+        "replay-{}",
+        std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("trace")
+    ));
     let mut summary = RunSummary::new();
-    while let Some(r) = sim.run_interval(&mut reader, interval) {
-        summary.add(&r);
+    {
+        let guard = report.phase("replay");
+        while let Some(r) = sim.run_interval(&mut reader, interval) {
+            summary.add(&r);
+        }
+        guard.finish();
     }
     print!("{summary}");
+    let snap = psca_obs::snapshot();
+    let insts = snap
+        .counters
+        .get("cpu.sim.instructions")
+        .copied()
+        .unwrap_or(0);
+    let wall = report.total_wall_s();
+    report.set("sim_instructions", insts);
+    if wall > 0.0 {
+        report.set("sim_insts_per_sec", insts as f64 / wall);
+    }
+    match report.write_default() {
+        Ok(p) => eprintln!("[trace-tool] run report: {}", p.display()),
+        Err(e) => eprintln!("[trace-tool] failed to write run report: {e}"),
+    }
+    psca_obs::flush();
     ExitCode::SUCCESS
 }

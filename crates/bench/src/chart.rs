@@ -38,7 +38,9 @@ pub fn bar_chart(
         .fold(f64::MIN_POSITIVE, f64::max);
     for (label, v) in rows {
         let n = ((v.abs() / max) * width as f64).round() as usize;
-        let bar: String = std::iter::repeat('#').take(n.max(usize::from(*v != 0.0))).collect();
+        let bar: String = std::iter::repeat('#')
+            .take(n.max(usize::from(*v != 0.0)))
+            .collect();
         let sign = if *v < 0.0 { "-" } else { "" };
         let _ = writeln!(
             out,
@@ -62,7 +64,10 @@ pub fn bar_chart(
 /// assert_eq!(s.chars().count(), 3);
 /// ```
 pub fn sparkline(values: &[f64]) -> String {
-    const LEVELS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    const LEVELS: [char; 8] = [
+        '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
     if values.is_empty() {
         return String::new();
     }
@@ -87,12 +92,9 @@ mod tests {
 
     #[test]
     fn bars_scale_to_largest_value() {
-        let out = bar_chart(
-            "t",
-            &[("a".into(), 1.0), ("b".into(), 0.5)],
-            10,
-            |v| format!("{v}"),
-        );
+        let out = bar_chart("t", &[("a".into(), 1.0), ("b".into(), 0.5)], 10, |v| {
+            format!("{v}")
+        });
         let lines: Vec<&str> = out.lines().collect();
         let count = |s: &str| s.chars().filter(|&c| c == '#').count();
         assert_eq!(count(lines[1]), 10);

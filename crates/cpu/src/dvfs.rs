@@ -43,11 +43,26 @@ impl DvfsModel {
     pub fn skylake_scaled() -> DvfsModel {
         DvfsModel {
             points: vec![
-                OperatingPoint { freq_ghz: 0.8, voltage: 0.70 },
-                OperatingPoint { freq_ghz: 1.2, voltage: 0.78 },
-                OperatingPoint { freq_ghz: 1.6, voltage: 0.88 },
-                OperatingPoint { freq_ghz: 2.0, voltage: 1.00 },
-                OperatingPoint { freq_ghz: 2.4, voltage: 1.12 },
+                OperatingPoint {
+                    freq_ghz: 0.8,
+                    voltage: 0.70,
+                },
+                OperatingPoint {
+                    freq_ghz: 1.2,
+                    voltage: 0.78,
+                },
+                OperatingPoint {
+                    freq_ghz: 1.6,
+                    voltage: 0.88,
+                },
+                OperatingPoint {
+                    freq_ghz: 2.0,
+                    voltage: 1.00,
+                },
+                OperatingPoint {
+                    freq_ghz: 2.4,
+                    voltage: 1.12,
+                },
             ],
             reference: 3,
             mem_latency_cycles: 180.0,

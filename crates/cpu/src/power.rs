@@ -120,7 +120,11 @@ mod tests {
     fn energy_is_positive_and_monotone_in_activity() {
         let m = PowerModel::default();
         let quiet = snap_with(1000, 100, &[(Event::UopsIssued, 100)]);
-        let busy = snap_with(1000, 100, &[(Event::UopsIssued, 4000), (Event::LlcMisses, 100)]);
+        let busy = snap_with(
+            1000,
+            100,
+            &[(Event::UopsIssued, 4000), (Event::LlcMisses, 100)],
+        );
         let e_quiet = m.interval_energy(&quiet, 2000, 0);
         let e_busy = m.interval_energy(&busy, 2000, 0);
         assert!(e_quiet > 0.0);

@@ -106,7 +106,6 @@ impl SlotRing {
             debug_assert!(c - start < SLOT_RING_LEN as u64, "slot search ran away");
         }
     }
-
 }
 
 /// Counts entries of a monotone completion ring that are still pending at
@@ -270,6 +269,17 @@ impl ClusterSim {
         }
         self.account_cluster_cycles();
         self.bank.incr(Event::ModeSwitches);
+        psca_obs::counter("cpu.mode_switches").inc();
+        if psca_obs::enabled(psca_obs::Level::Debug) {
+            psca_obs::emit(
+                psca_obs::Level::Debug,
+                "cpu.mode_switch",
+                &[
+                    ("from", self.mode.to_string().into()),
+                    ("to", mode.to_string().into()),
+                ],
+            );
+        }
         if mode == Mode::LowPower {
             let live_in_c2 = self
                 .reg_cluster
@@ -278,6 +288,7 @@ impl ClusterSim {
                 .count()
                 .min(self.cfg.transfer_uop_max as usize) as u64;
             self.bank.add(Event::TransferUops, live_in_c2);
+            psca_obs::counter("cpu.transfer_uops").add(live_in_c2);
             self.bank.add(Event::UopsIssued, live_in_c2);
             self.bank.add(Event::Cluster1UopsIssued, live_in_c2);
             self.uops_issued_in_interval += live_in_c2;
@@ -568,8 +579,7 @@ impl ClusterSim {
                     self.last_sq_drain = self.last_sq_drain.max(drain);
                     self.sq_drain[slot] = self.last_sq_drain;
                     // Occupancy sample: pending SQ entries at dispatch.
-                    let occ =
-                        count_pending(&self.sq_drain, self.sq_index + 1, dispatch);
+                    let occ = count_pending(&self.sq_drain, self.sq_index + 1, dispatch);
                     self.bank.add(Event::StoreQueueOccupancy, occ);
                     self.sq_index += 1;
                 }
@@ -676,9 +686,16 @@ impl ClusterSim {
         if executed == 0 {
             return None;
         }
-        // Close the interval.
+        // Close the interval. Observability counters are bumped once per
+        // interval (not per instruction) to keep the hot loop unchanged.
         let cycles = (self.last_retire - self.interval_start).max(1);
         self.bank.add(Event::Cycles, cycles);
+        psca_obs::counter("cpu.sim.instructions").add(executed);
+        psca_obs::counter("cpu.sim.cycles").add(cycles);
+        psca_obs::counter("cpu.sim.intervals").inc();
+        if self.mode == Mode::LowPower {
+            psca_obs::counter("cpu.sim.cycles_low_power").add(cycles);
+        }
         let width = self.active_width() as u64;
         let empty = (width * cycles).saturating_sub(self.uops_issued_in_interval);
         self.bank.add(Event::IssueSlotsEmpty, empty);
@@ -828,7 +845,11 @@ mod tests {
         let mut toggle_energy = 0.0;
         let mut toggle_insts = 0u64;
         for i in 0..20 {
-            toggling.set_mode(if i % 2 == 0 { Mode::HighPerf } else { Mode::LowPower });
+            toggling.set_mode(if i % 2 == 0 {
+                Mode::HighPerf
+            } else {
+                Mode::LowPower
+            });
             let r = toggling.run_interval(&mut gen, 10_000).unwrap();
             toggle_energy += r.energy;
             toggle_insts += r.instructions;

@@ -5,7 +5,13 @@ use psca_workloads::{Archetype, PhaseGenerator};
 #[test]
 #[ignore]
 fn diag() {
-    for a in [Archetype::ScalarIlp, Archetype::DepChain, Archetype::StreamFpWide, Archetype::StreamFpChain, Archetype::Balanced] {
+    for a in [
+        Archetype::ScalarIlp,
+        Archetype::DepChain,
+        Archetype::StreamFpWide,
+        Archetype::StreamFpChain,
+        Archetype::Balanced,
+    ] {
         for mode in [Mode::HighPerf, Mode::LowPower] {
             let mut sim = ClusterSim::new(CpuConfig::skylake_scaled());
             sim.set_mode(mode);

@@ -45,7 +45,11 @@ fn adaptation_energy_overhead_is_negligible() {
         let mut energy = 0.0;
         for i in 0..40 {
             let mode = if toggle {
-                if i % 2 == 0 { Mode::HighPerf } else { Mode::LowPower }
+                if i % 2 == 0 {
+                    Mode::HighPerf
+                } else {
+                    Mode::LowPower
+                }
             } else if i < 20 {
                 Mode::HighPerf
             } else {

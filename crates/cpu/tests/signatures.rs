@@ -33,7 +33,10 @@ fn argmax_archetype(e: Event) -> Archetype {
 
 #[test]
 fn branchy_maximizes_mispredictions() {
-    assert_eq!(argmax_archetype(Event::BranchMispredicts), Archetype::Branchy);
+    assert_eq!(
+        argmax_archetype(Event::BranchMispredicts),
+        Archetype::Branchy
+    );
 }
 
 #[test]
@@ -41,7 +44,10 @@ fn icache_heavy_maximizes_instruction_cache_misses() {
     // The µop-cache miss *rate* saturates at one per fetched line for any
     // footprint beyond its capacity; the L1I miss rate is what singles out
     // truly large code footprints.
-    assert_eq!(argmax_archetype(Event::IcacheMisses), Archetype::IcacheHeavy);
+    assert_eq!(
+        argmax_archetype(Event::IcacheMisses),
+        Archetype::IcacheHeavy
+    );
 }
 
 #[test]
@@ -57,14 +63,20 @@ fn tlb_thrash_combines_high_tlb_pressure_with_modest_cache_misses() {
 
 #[test]
 fn store_heavy_maximizes_store_traffic() {
-    assert_eq!(argmax_archetype(Event::StoresRetired), Archetype::StoreHeavy);
+    assert_eq!(
+        argmax_archetype(Event::StoresRetired),
+        Archetype::StoreHeavy
+    );
 }
 
 #[test]
 fn memory_bound_archetypes_dominate_llc_misses() {
     let top = argmax_archetype(Event::LlcMisses);
     assert!(
-        matches!(top, Archetype::MemBound | Archetype::PointerChase | Archetype::TlbThrash),
+        matches!(
+            top,
+            Archetype::MemBound | Archetype::PointerChase | Archetype::TlbThrash
+        ),
         "LLC misses maximized by {top:?}"
     );
 }
@@ -100,7 +112,11 @@ fn pointer_chase_has_low_mlp() {
     // Chased loads serialize: long-latency loads per instruction high,
     // IPC very low.
     let s = snapshot(Archetype::PointerChase);
-    assert!(s.ipc() < 0.7, "pointer chasing should crawl: IPC {}", s.ipc());
+    assert!(
+        s.ipc() < 0.7,
+        "pointer chasing should crawl: IPC {}",
+        s.ipc()
+    );
     assert!(per_inst(&s, Event::LlcMisses) > 0.001);
 }
 

@@ -15,5 +15,8 @@ fn throughput() {
         done += r.instructions;
     }
     let dt = t.elapsed().as_secs_f64();
-    println!("sim throughput: {:.1} M instr/s (debug)", n as f64 / dt / 1e6);
+    println!(
+        "sim throughput: {:.1} M instr/s (debug)",
+        n as f64 / dt / 1e6
+    );
 }

@@ -139,7 +139,10 @@ mod tests {
     #[test]
     fn folds_deterministic_per_seed() {
         let groups: Vec<u32> = (0..50).map(|i| i / 5).collect();
-        assert_eq!(group_folds(&groups, 3, 0.2, 7), group_folds(&groups, 3, 0.2, 7));
+        assert_eq!(
+            group_folds(&groups, 3, 0.2, 7),
+            group_folds(&groups, 3, 0.2, 7)
+        );
     }
 
     #[test]

@@ -165,7 +165,10 @@ impl Standardizer {
         }
         let mut stds = vec![0.0; d];
         for i in 0..data.len() {
-            for (s, (v, m)) in stds.iter_mut().zip(data.features().row(i).iter().zip(&means)) {
+            for (s, (v, m)) in stds
+                .iter_mut()
+                .zip(data.features().row(i).iter().zip(&means))
+            {
                 let dvi = v - m;
                 *s += dvi * dvi;
             }
@@ -205,12 +208,7 @@ mod tests {
     use super::*;
 
     fn toy() -> Dataset {
-        let m = Matrix::from_rows(&[
-            &[1.0, 10.0],
-            &[2.0, 20.0],
-            &[3.0, 30.0],
-            &[4.0, 40.0],
-        ]);
+        let m = Matrix::from_rows(&[&[1.0, 10.0], &[2.0, 20.0], &[3.0, 30.0], &[4.0, 40.0]]);
         Dataset::new(m, vec![0, 1, 0, 1], vec![0, 0, 1, 1])
     }
 
@@ -256,10 +254,7 @@ mod tests {
         let t = s.transform_dataset(&d);
         for j in 0..2 {
             let mean: f64 = (0..4).map(|i| t.features().get(i, j)).sum::<f64>() / 4.0;
-            let var: f64 = (0..4)
-                .map(|i| t.features().get(i, j).powi(2))
-                .sum::<f64>()
-                / 4.0;
+            let var: f64 = (0..4).map(|i| t.features().get(i, j).powi(2)).sum::<f64>() / 4.0;
             assert!(mean.abs() < 1e-12);
             assert!((var - 1.0).abs() < 1e-9);
         }

@@ -169,11 +169,7 @@ mod tests {
 
     #[test]
     fn jacobi_reconstructs_matrix() {
-        let a = sym(&[
-            &[4.0, 1.0, 0.5],
-            &[1.0, 3.0, 0.2],
-            &[0.5, 0.2, 1.0],
-        ]);
+        let a = sym(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.2], &[0.5, 0.2, 1.0]]);
         let (vals, vecs) = jacobi_eigen(&a, 100, 1e-14);
         // A = V^T diag(vals) V with eigenvectors as rows of V.
         let mut recon = Matrix::zeros(3, 3);
@@ -195,11 +191,7 @@ mod tests {
 
     #[test]
     fn power_iteration_matches_jacobi() {
-        let a = sym(&[
-            &[4.0, 1.0, 0.5],
-            &[1.0, 3.0, 0.2],
-            &[0.5, 0.2, 1.0],
-        ]);
+        let a = sym(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.2], &[0.5, 0.2, 1.0]]);
         let (jv, _) = jacobi_eigen(&a, 100, 1e-14);
         let (pv, pvec) = top_eigenpairs(&a, 2, 500);
         assert!((jv[0] - pv[0]).abs() < 1e-6, "{jv:?} vs {pv:?}");

@@ -67,6 +67,7 @@ impl RandomForest {
     pub fn fit(cfg: &RandomForestConfig, data: &Dataset, seed: u64) -> RandomForest {
         assert!(cfg.num_trees >= 1, "forest needs at least one tree");
         assert!(!data.is_empty(), "cannot train on an empty dataset");
+        let _span = psca_obs::SpanTimer::start("ml.rf.fit");
         let mut rng = StdRng::seed_from_u64(seed);
         let max_features = Some(((data.dim() as f64).sqrt().ceil() as usize).max(1));
         let trees = (0..cfg.num_trees)
@@ -214,7 +215,10 @@ mod tests {
         let data = noisy_dataset(200, 4);
         let a = RandomForest::fit(&RandomForestConfig::best_rf(), &data, 5);
         let b = RandomForest::fit(&RandomForestConfig::best_rf(), &data, 5);
-        assert_eq!(a.predict_proba(&[0.4, 0.3, 0.9]), b.predict_proba(&[0.4, 0.3, 0.9]));
+        assert_eq!(
+            a.predict_proba(&[0.4, 0.3, 0.9]),
+            b.predict_proba(&[0.4, 0.3, 0.9])
+        );
     }
 
     #[test]

@@ -38,7 +38,13 @@ pub struct RegressionTree {
 }
 
 impl RegressionTree {
-    fn fit(x: &Matrix, targets: &[f64], idx: &[usize], max_depth: usize, min_leaf: usize) -> RegressionTree {
+    fn fit(
+        x: &Matrix,
+        targets: &[f64],
+        idx: &[usize],
+        max_depth: usize,
+        min_leaf: usize,
+    ) -> RegressionTree {
         let mut tree = RegressionTree {
             nodes: Vec::new(),
             max_depth,
@@ -47,7 +53,14 @@ impl RegressionTree {
         tree
     }
 
-    fn grow(&mut self, x: &Matrix, t: &[f64], idx: Vec<usize>, depth: usize, min_leaf: usize) -> usize {
+    fn grow(
+        &mut self,
+        x: &Matrix,
+        t: &[f64],
+        idx: Vec<usize>,
+        depth: usize,
+        min_leaf: usize,
+    ) -> usize {
         let mean = idx.iter().map(|&i| t[i]).sum::<f64>() / idx.len().max(1) as f64;
         if depth >= self.max_depth || idx.len() < 2 * min_leaf {
             self.nodes.push(RegNode::Leaf { value: mean });
@@ -77,7 +90,8 @@ impl RegressionTree {
                 }
                 let right_sum = total - left_sum;
                 let right_sq = total_sq - left_sq;
-                let sse = (left_sq - left_sum * left_sum / nl) + (right_sq - right_sum * right_sum / nr);
+                let sse =
+                    (left_sq - left_sum * left_sum / nl) + (right_sq - right_sum * right_sum / nr);
                 let gain = parent_sse - sse;
                 if gain > 1e-12 && best.map_or(true, |(g, _, _)| gain > g) {
                     best = Some((gain, f, 0.5 * (sorted[w].0 + sorted[w + 1].0)));
@@ -88,8 +102,9 @@ impl RegressionTree {
             self.nodes.push(RegNode::Leaf { value: mean });
             return self.nodes.len() - 1;
         };
-        let (li, ri): (Vec<usize>, Vec<usize>) =
-            idx.into_iter().partition(|&i| x.get(i, feature) < threshold);
+        let (li, ri): (Vec<usize>, Vec<usize>) = idx
+            .into_iter()
+            .partition(|&i| x.get(i, feature) < threshold);
         let at = self.nodes.len();
         self.nodes.push(RegNode::Leaf { value: mean });
         let left = self.grow(x, t, li, depth + 1, min_leaf);
@@ -304,8 +319,20 @@ mod tests {
                 .sum::<f64>()
                 / data.len() as f64
         };
-        let small = Gbdt::fit(&GbdtConfig { num_trees: 2, ..GbdtConfig::default() }, &data);
-        let large = Gbdt::fit(&GbdtConfig { num_trees: 20, ..GbdtConfig::default() }, &data);
+        let small = Gbdt::fit(
+            &GbdtConfig {
+                num_trees: 2,
+                ..GbdtConfig::default()
+            },
+            &data,
+        );
+        let large = Gbdt::fit(
+            &GbdtConfig {
+                num_trees: 20,
+                ..GbdtConfig::default()
+            },
+            &data,
+        );
         assert!(loss(&large) < loss(&small));
     }
 

@@ -31,6 +31,7 @@ impl LogisticRegression {
     /// Panics if the dataset is empty.
     pub fn fit(data: &Dataset, l2: f64, max_iters: usize) -> LogisticRegression {
         assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        let _span = psca_obs::SpanTimer::start("ml.logistic.fit");
         let d = data.dim();
         // Parameter vector: [weights..., bias].
         let mut theta = vec![0.0; d + 1];

@@ -97,7 +97,7 @@ impl Layer {
 /// let labels: Vec<u8> = rows.iter().map(|r| (r[0] > 0.0) as u8).collect();
 /// let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
 /// let data = Dataset::new(Matrix::from_rows(&refs), labels, vec![0; 200]);
-/// let mlp = Mlp::fit(&MlpConfig::default(), &data, 1);
+/// let mlp = Mlp::fit(&MlpConfig::default(), &data, 2);
 /// assert!(mlp.predict_proba(&[1.0]) > 0.5);
 /// assert!(mlp.predict_proba(&[-1.0]) < 0.5);
 /// ```
@@ -115,6 +115,7 @@ impl Mlp {
     /// Panics if the dataset is empty.
     pub fn fit(cfg: &MlpConfig, data: &Dataset, seed: u64) -> Mlp {
         assert!(!data.is_empty(), "cannot train on an empty dataset");
+        let _span = psca_obs::SpanTimer::start("ml.mlp.fit");
         let mut rng = StdRng::seed_from_u64(seed);
         let mut dims = vec![data.dim()];
         dims.extend_from_slice(&cfg.hidden);
@@ -401,7 +402,7 @@ mod tests {
     #[test]
     fn probabilities_are_valid() {
         let data = xor_dataset(50);
-        let mlp = Mlp::fit(&MlpConfig::default(), &data, 1);
+        let mlp = Mlp::fit(&MlpConfig::default(), &data, 2);
         for i in 0..data.len() {
             let p = mlp.predict_proba(data.sample(i).0);
             assert!((0.0..=1.0).contains(&p));

@@ -36,11 +36,7 @@ pub struct ScreenResult {
 ///
 /// # Panics
 /// Panics if `traces` is empty or stream counts differ.
-pub fn low_activity_screen(
-    traces: &[&Matrix],
-    zero_frac: f64,
-    flag_frac: f64,
-) -> Vec<usize> {
+pub fn low_activity_screen(traces: &[&Matrix], zero_frac: f64, flag_frac: f64) -> Vec<usize> {
     assert!(!traces.is_empty(), "need at least one trace");
     let cols = traces[0].cols();
     let mut flags = vec![0usize; cols];
@@ -120,7 +116,10 @@ pub fn pf_counter_selection(data: &Matrix, r: usize, tau: f64) -> Vec<usize> {
     let n = data.rows().max(1) as f64;
     let mut std_data = data.clone();
     for c in 0..std_data.cols() {
-        let mean = (0..std_data.rows()).map(|r| std_data.get(r, c)).sum::<f64>() / n;
+        let mean = (0..std_data.rows())
+            .map(|r| std_data.get(r, c))
+            .sum::<f64>()
+            / n;
         let var = (0..std_data.rows())
             .map(|r| {
                 let d = std_data.get(r, c) - mean;
@@ -228,8 +227,7 @@ mod tests {
             3..=5 => 'B',
             _ => 'C',
         };
-        let factors: std::collections::HashSet<char> =
-            picked.iter().map(|&c| factor(c)).collect();
+        let factors: std::collections::HashSet<char> = picked.iter().map(|&c| factor(c)).collect();
         assert_eq!(factors.len(), 3, "picked {picked:?} — redundant selection");
     }
 

@@ -53,7 +53,10 @@ impl LinearSvm {
                 b += eta * y;
             }
         }
-        LinearSvm { weights: w, bias: b }
+        LinearSvm {
+            weights: w,
+            bias: b,
+        }
     }
 
     /// Signed decision score (positive → class 1).
@@ -77,7 +80,13 @@ impl LinearSvm {
 
     /// Trains an ensemble of `n` SVMs on bootstrap resamples and returns
     /// them (majority vote at inference), as in Table 3's linear-SVM row.
-    pub fn fit_ensemble(data: &Dataset, n: usize, lambda: f64, iters: usize, seed: u64) -> Vec<LinearSvm> {
+    pub fn fit_ensemble(
+        data: &Dataset,
+        n: usize,
+        lambda: f64,
+        iters: usize,
+        seed: u64,
+    ) -> Vec<LinearSvm> {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..n)
             .map(|_| {
@@ -212,7 +221,10 @@ mod tests {
         for _ in 0..n {
             let y = rng.gen::<bool>();
             let cx = if y { 2.0 } else { 0.5 };
-            rows.push(vec![cx + rng.gen::<f64>() * 0.8, cx + rng.gen::<f64>() * 0.8]);
+            rows.push(vec![
+                cx + rng.gen::<f64>() * 0.8,
+                cx + rng.gen::<f64>() * 0.8,
+            ]);
             labels.push(y as u8);
         }
         let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();

@@ -8,7 +8,9 @@ fn dataset_strategy() -> impl Strategy<Value = Dataset> {
     (2usize..40, 1usize..5, any::<u64>()).prop_map(|(n, d, seed)| {
         let mut x = seed;
         let mut next = move || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (x >> 33) as f64 / (1u64 << 31) as f64
         };
         let rows: Vec<Vec<f64>> = (0..n)

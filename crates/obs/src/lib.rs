@@ -1,0 +1,107 @@
+//! `psca-obs`: observability for the post-silicon adaptation pipeline.
+//!
+//! Three layers, all dependency-free:
+//!
+//! 1. **Metrics** ([`metrics`]) — atomic [`Counter`]s, [`Gauge`]s, and
+//!    log-linear [`Histogram`]s behind a process-global [`Registry`].
+//!    Recording is wait-free; with no consumer the cost is one atomic op.
+//! 2. **Events** ([`event`]) — discrete structured events (mode switches,
+//!    guardrail trips, SLA violations, training rounds) delivered to
+//!    installed sinks, level-filtered via the `PSCA_LOG` environment
+//!    variable. With no sink installed, [`emit`] is two relaxed atomic
+//!    loads.
+//! 3. **Reports** ([`report`]) — a [`RunReport`] aggregates per-phase
+//!    wall time, headline summary values, and a metrics snapshot into
+//!    `target/obs/<run>.json` plus a rendered table.
+//!
+//! [`SpanTimer`] ([`span`]) bridges layers 1 and 2: an RAII timer that
+//! records wall time into `span.<path>` histograms and emits trace-level
+//! enter/exit events.
+//!
+//! Naming conventions and the `PSCA_LOG` contract are documented in
+//! `docs/OBSERVABILITY.md`.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod span;
+
+pub use event::{
+    clear_sinks, emit, enabled, flush, install_sink, set_level, ConsoleSink, EventRecord,
+    EventSink, FieldValue, JsonlSink, Level,
+};
+pub use json::Json;
+pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, MetricsSnapshot, Registry};
+pub use report::{PhaseStat, RunReport, SummaryValue};
+pub use span::SpanTimer;
+
+use std::sync::Arc;
+
+/// The global counter named `name` (created on first use).
+pub fn counter(name: &str) -> Arc<Counter> {
+    metrics::global().counter(name)
+}
+
+/// The global gauge named `name` (created on first use).
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    metrics::global().gauge(name)
+}
+
+/// The global histogram named `name` (created on first use).
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    metrics::global().histogram(name)
+}
+
+/// Snapshot of every global metric.
+pub fn snapshot() -> MetricsSnapshot {
+    metrics::global().snapshot()
+}
+
+/// Resets every global metric (per-run scoping; tests).
+pub fn reset_metrics() {
+    metrics::global().reset();
+}
+
+/// Standard sink bootstrap for binaries:
+///
+/// - `PSCA_LOG=<level>` installs a [`ConsoleSink`] on stderr filtered at
+///   that level (no variable → no sink, near-zero cost);
+/// - `PSCA_OBS_JSONL=<path>` additionally streams every delivered event
+///   to a JSONL file.
+///
+/// Returns `true` if any sink was installed.
+pub fn init_from_env() -> bool {
+    let mut installed = false;
+    if std::env::var("PSCA_LOG")
+        .map(|v| Level::from_env_str(&v).is_some())
+        .unwrap_or(false)
+    {
+        install_sink(Box::new(ConsoleSink));
+        installed = true;
+    }
+    if let Ok(path) = std::env::var("PSCA_OBS_JSONL") {
+        match JsonlSink::create(std::path::Path::new(&path)) {
+            Ok(sink) => {
+                install_sink(Box::new(sink));
+                installed = true;
+            }
+            Err(e) => eprintln!("psca-obs: cannot open PSCA_OBS_JSONL={path}: {e}"),
+        }
+    }
+    installed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn convenience_handles_hit_the_global_registry() {
+        let c = counter("lib_convenience_counter");
+        c.add(7);
+        assert_eq!(snapshot().counters.get("lib_convenience_counter"), Some(&7));
+    }
+}

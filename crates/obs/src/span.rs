@@ -1,0 +1,120 @@
+//! RAII span timers.
+//!
+//! A [`SpanTimer`] measures the wall time between construction and drop
+//! and records it (in nanoseconds) into the global histogram
+//! `span.<path>`, where `<path>` is the dot-joined stack of enclosing
+//! spans on the current thread — so nested spans produce distinct
+//! histograms (`span.repro.fig8` inside `span.repro`). Entering and
+//! leaving a span also emits `span.enter`/`span.exit` events at
+//! [`Level::Trace`].
+
+use crate::event::{emit, FieldValue, Level};
+use crate::metrics;
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Measures one span of work; records on drop.
+#[derive(Debug)]
+pub struct SpanTimer {
+    path: String,
+    start: Instant,
+    depth_on_entry: usize,
+}
+
+impl SpanTimer {
+    /// Starts a span named `name`, nested under any active spans on this
+    /// thread.
+    pub fn start(name: &str) -> SpanTimer {
+        let (path, depth) = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = if stack.is_empty() {
+                name.to_string()
+            } else {
+                format!("{}.{}", stack.last().unwrap(), name)
+            };
+            stack.push(path.clone());
+            (path, stack.len())
+        });
+        emit(
+            Level::Trace,
+            "span.enter",
+            &[("span", FieldValue::Str(path.clone()))],
+        );
+        SpanTimer {
+            path,
+            start: Instant::now(),
+            depth_on_entry: depth,
+        }
+    }
+
+    /// The full dot-joined span path (`parent.child`).
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Elapsed time so far, in seconds.
+    pub fn elapsed_s(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        let ns = self.start.elapsed().as_nanos() as u64;
+        metrics::global()
+            .histogram(&format!("span.{}", self.path))
+            .record(ns);
+        emit(
+            Level::Trace,
+            "span.exit",
+            &[
+                ("span", FieldValue::Str(self.path.clone())),
+                ("wall_ns", FieldValue::U64(ns)),
+            ],
+        );
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Spans normally drop in LIFO order; if a span escaped its
+            // scope, truncate back to this span's depth to stay sane.
+            stack.truncate(self.depth_on_entry.saturating_sub(1));
+        });
+    }
+}
+
+/// The current thread's active span path, if any.
+pub fn current_path() -> Option<String> {
+    SPAN_STACK.with(|stack| stack.borrow().last().cloned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_builds_dotted_paths() {
+        assert_eq!(current_path(), None);
+        let outer = SpanTimer::start("outer_span_test");
+        assert_eq!(outer.path(), "outer_span_test");
+        {
+            let inner = SpanTimer::start("inner");
+            assert_eq!(inner.path(), "outer_span_test.inner");
+            assert_eq!(current_path().as_deref(), Some("outer_span_test.inner"));
+        }
+        assert_eq!(current_path().as_deref(), Some("outer_span_test"));
+        drop(outer);
+        assert_eq!(current_path(), None);
+    }
+
+    #[test]
+    fn drop_records_into_span_histogram() {
+        {
+            let _t = SpanTimer::start("span_histogram_roundtrip");
+        }
+        let h = metrics::global().histogram("span.span_histogram_roundtrip");
+        assert!(h.count() >= 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Cross-layer tests that exercise the global registry and sink state,
+//! kept in an integration test so they own the process-wide singletons.
+
+use psca_obs::{
+    clear_sinks, emit, install_sink, set_level, FieldValue, Histogram, JsonlSink, Level,
+};
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// `Write` adapter that mirrors everything into a shared buffer so the
+/// test can read back what the sink wrote.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn counter_is_atomic_under_thread_fanout() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            std::thread::spawn(|| {
+                let c = psca_obs::counter("it_fanout_counter");
+                for _ in 0..PER_THREAD {
+                    c.inc();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(
+        psca_obs::counter("it_fanout_counter").get(),
+        THREADS as u64 * PER_THREAD
+    );
+}
+
+#[test]
+fn histogram_quantiles_on_known_uniform_distribution() {
+    let h = Histogram::new();
+    // 1..=1000 uniformly: true p50 = 500, p95 = 950, p99 = 990.
+    for v in 1..=1000u64 {
+        h.record(v);
+    }
+    assert_eq!(h.count(), 1000);
+    assert_eq!(h.min(), Some(1));
+    assert_eq!(h.max(), Some(1000));
+    // Bucket lower edges guarantee ~9% relative error, from below only.
+    let p50 = h.quantile(0.50).unwrap();
+    assert!((455..=500).contains(&p50), "p50 = {p50}");
+    let p95 = h.quantile(0.95).unwrap();
+    assert!((864..=950).contains(&p95), "p95 = {p95}");
+    let p99 = h.quantile(0.99).unwrap();
+    assert!((901..=990).contains(&p99), "p99 = {p99}");
+    // Extremes are exact.
+    assert_eq!(h.quantile(0.0), Some(1));
+    assert!(h.quantile(1.0).unwrap() >= 960);
+}
+
+#[test]
+fn histogram_quantiles_on_point_mass() {
+    let h = Histogram::new();
+    for _ in 0..100 {
+        h.record(7);
+    }
+    // Values below SUB_BUCKETS are bucketed exactly.
+    assert_eq!(h.quantile(0.5), Some(7));
+    assert_eq!(h.quantile(0.99), Some(7));
+    assert_eq!(h.mean(), 7.0);
+}
+
+#[test]
+fn jsonl_sink_golden_file() {
+    let buf = SharedBuf::default();
+    clear_sinks();
+    set_level(Some(Level::Info));
+    install_sink(Box::new(
+        JsonlSink::new(Box::new(buf.clone())).without_timestamps(),
+    ));
+
+    emit(
+        Level::Warn,
+        "guardrail.trip",
+        &[
+            ("trips", FieldValue::U64(3)),
+            ("ipc", FieldValue::F64(1.5)),
+            ("app", FieldValue::Str("654.roms_s".into())),
+        ],
+    );
+    emit(
+        Level::Info,
+        "train.round",
+        &[
+            ("model", FieldValue::Str("best-rf".into())),
+            ("wall_ms", FieldValue::U64(12)),
+        ],
+    );
+    // Below the Info filter: must not reach the sink.
+    emit(Level::Debug, "cpu.mode_switch", &[]);
+
+    clear_sinks();
+    set_level(None);
+
+    let written = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+    let golden = "\
+{\"level\":\"warn\",\"event\":\"guardrail.trip\",\"fields\":{\"trips\":3,\"ipc\":1.5,\"app\":\"654.roms_s\"}}
+{\"level\":\"info\",\"event\":\"train.round\",\"fields\":{\"model\":\"best-rf\",\"wall_ms\":12}}
+";
+    assert_eq!(written, golden);
+}

@@ -45,6 +45,7 @@ impl CounterBank {
     /// and instruction totals are preserved on the snapshot so IPC and
     /// coarser-granularity re-aggregation remain exact.
     pub fn snapshot_and_reset(&mut self) -> IntervalSnapshot {
+        psca_obs::counter("telemetry.snapshots").inc();
         let cycles = self.counts[Event::Cycles.index()].max(1);
         let instructions = self.counts[Event::InstRetired.index()];
         let mut normalized = [0.0f64; NUM_EVENTS];

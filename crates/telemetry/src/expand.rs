@@ -159,7 +159,9 @@ impl ExpandedTelemetry {
                     levels: 2 + (u * 6.0) as u32,
                 }
             } else {
-                StreamSpec::Rare { p: 0.001 + 0.05 * u }
+                StreamSpec::Rare {
+                    p: 0.001 + 0.05 * u,
+                }
             };
             specs.push(spec);
         }
@@ -234,7 +236,9 @@ impl ExpandedTelemetry {
                     (v * levels as f64).floor() / levels as f64
                 }
                 StreamSpec::Rare { p } => {
-                    let h = splitmix64(self.seed ^ (i as u64) << 23 ^ t.wrapping_mul(0x2545_F491_4F6C_DD1D));
+                    let h = splitmix64(
+                        self.seed ^ (i as u64) << 23 ^ t.wrapping_mul(0x2545_F491_4F6C_DD1D),
+                    );
                     if unit(h) < p {
                         unit(splitmix64(h))
                     } else {
@@ -311,7 +315,10 @@ mod tests {
         let rare_idx: Vec<usize> = (0..NUM_EXPANDED_STREAMS)
             .filter(|&i| matches!(exp.spec(i), StreamSpec::Rare { .. }))
             .collect();
-        assert!(!rare_idx.is_empty(), "expansion should contain rare streams");
+        assert!(
+            !rare_idx.is_empty(),
+            "expansion should contain rare streams"
+        );
         let mut zeros = 0usize;
         let mut total = 0usize;
         for t in 0..200 {

@@ -272,8 +272,12 @@ mod tests {
 
     fn sample_insts() -> Vec<Instruction> {
         vec![
-            Instruction::alu(OpClass::IntAlu, Some(Reg::int(1)), [Some(Reg::int(2)), None])
-                .at_pc(0x1000),
+            Instruction::alu(
+                OpClass::IntAlu,
+                Some(Reg::int(1)),
+                [Some(Reg::int(2)), None],
+            )
+            .at_pc(0x1000),
             Instruction::load(Reg::fp(3), Some(Reg::int(24)), MemRef::new(0xdead_beef, 8))
                 .at_pc(0x1004),
             Instruction::store(Some(Reg::fp(3)), None, MemRef::new(0x10, 64)).at_pc(0x1008),
@@ -304,7 +308,7 @@ mod tests {
         let mut buf = Vec::new();
         let n = write_trace(&mut VecTrace::new(insts), 2, &mut buf).unwrap();
         assert_eq!(n, 2);
-        let mut reader = TraceFileReader::open(buf.as_slice()).unwrap();
+        let reader = TraceFileReader::open(buf.as_slice()).unwrap();
         assert_eq!(reader.remaining(), 2);
     }
 

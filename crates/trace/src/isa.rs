@@ -115,11 +115,7 @@ impl OpClass {
     pub fn is_fp(self) -> bool {
         matches!(
             self,
-            OpClass::FpAdd
-                | OpClass::FpMul
-                | OpClass::FpFma
-                | OpClass::FpDiv
-                | OpClass::SimdFp
+            OpClass::FpAdd | OpClass::FpMul | OpClass::FpFma | OpClass::FpDiv | OpClass::SimdFp
         )
     }
 

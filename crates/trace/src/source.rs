@@ -93,6 +93,7 @@ impl VecTrace {
                 None => break,
             }
         }
+        psca_obs::counter("trace.instructions_recorded").add(insts.len() as u64);
         VecTrace::new(insts)
     }
 

@@ -132,15 +132,30 @@ mod tests {
         let cpu = CpuSpec::paper();
         let mcu = McuSpec::paper();
         // CHARSTAR: 292 ops → 20k (§7).
-        assert_eq!(finest_granularity(&cpu, &mcu, 292, 10_000, 100_000), Some(20_000));
+        assert_eq!(
+            finest_granularity(&cpu, &mcu, 292, 10_000, 100_000),
+            Some(20_000)
+        );
         // Best RF: 538 ops → 40k (§7).
-        assert_eq!(finest_granularity(&cpu, &mcu, 538, 10_000, 100_000), Some(40_000));
+        assert_eq!(
+            finest_granularity(&cpu, &mcu, 538, 10_000, 100_000),
+            Some(40_000)
+        );
         // Best MLP: 678 ops → 50k (§7).
-        assert_eq!(finest_granularity(&cpu, &mcu, 678, 10_000, 100_000), Some(50_000));
+        assert_eq!(
+            finest_granularity(&cpu, &mcu, 678, 10_000, 100_000),
+            Some(50_000)
+        );
         // SRCH: 572 ops → 40k (§7).
-        assert_eq!(finest_granularity(&cpu, &mcu, 572, 10_000, 100_000), Some(40_000));
+        assert_eq!(
+            finest_granularity(&cpu, &mcu, 572, 10_000, 100_000),
+            Some(40_000)
+        );
         // χ² SVM at 121k ops never fits.
-        assert_eq!(finest_granularity(&cpu, &mcu, 121_000, 10_000, 100_000), None);
+        assert_eq!(
+            finest_granularity(&cpu, &mcu, 121_000, 10_000, 100_000),
+            None
+        );
     }
 
     #[test]

@@ -159,6 +159,7 @@ impl FirmwareModel {
                 ops.compares += 1; // logit vs threshold (no exp needed)
             }
         }
+        psca_obs::histogram("uc.firmware.ops_per_prediction").record(ops.total());
         (self.predict(x), ops)
     }
 
@@ -183,10 +184,9 @@ impl FirmwareModel {
                 .map(|t| 10u64 * (1u64 << t.max_depth()))
                 .sum(),
             FirmwareModel::Logistic(m) => 4 * (m.weights().len() as u64 + 1),
-            FirmwareModel::SvmEnsemble(ms) => ms
-                .iter()
-                .map(|s| 4 * (s.weights().len() as u64 + 1))
-                .sum(),
+            FirmwareModel::SvmEnsemble(ms) => {
+                ms.iter().map(|s| 4 * (s.weights().len() as u64 + 1)).sum()
+            }
             FirmwareModel::Chi2Svm(m) => {
                 let dim = m.dim().unwrap_or(0) as u64;
                 m.num_support_vectors() as u64 * (4 * dim + 4)
@@ -263,11 +263,7 @@ mod tests {
     #[test]
     fn forest_cost_is_input_independent() {
         let data = dataset(300, 12, 6);
-        let rf = FirmwareModel::Forest(RandomForest::fit(
-            &RandomForestConfig::best_rf(),
-            &data,
-            2,
-        ));
+        let rf = FirmwareModel::Forest(RandomForest::fit(&RandomForestConfig::best_rf(), &data, 2));
         let (_, a) = rf.predict_counted(&vec![0.0; 12]);
         let (_, b) = rf.predict_counted(&vec![1.0; 12]);
         assert_eq!(a.total(), b.total(), "padded trees must cost the same");
@@ -280,8 +276,8 @@ mod tests {
         let fw = FirmwareModel::Chi2Svm(svm);
         let ops = fw.ops_per_prediction(12);
         let data2 = dataset(300, 12, 9);
-        let mlp_ops = FirmwareModel::Mlp(Mlp::fit(&MlpConfig::best_mlp(), &data2, 1))
-            .ops_per_prediction(12);
+        let mlp_ops =
+            FirmwareModel::Mlp(Mlp::fit(&MlpConfig::best_mlp(), &data2, 1)).ops_per_prediction(12);
         assert!(ops > 10 * mlp_ops, "chi2 {ops} vs mlp {mlp_ops}");
     }
 

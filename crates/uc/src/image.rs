@@ -385,7 +385,7 @@ mod tests {
         for _ in 0..500 {
             let mut corrupted = image.clone();
             let idx = rng.gen_range(0..corrupted.len());
-            corrupted[idx] ^= 1 << rng.gen_range(0..8);
+            corrupted[idx] ^= 1u8 << rng.gen_range(0..8);
             let _ = decode(&corrupted); // must not panic; error or value both fine
         }
     }

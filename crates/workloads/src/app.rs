@@ -68,7 +68,10 @@ impl ApplicationModel {
         mean_phase_len: u64,
         seed: u64,
     ) -> ApplicationModel {
-        assert!(!phases.is_empty(), "an application needs at least one phase");
+        assert!(
+            !phases.is_empty(),
+            "an application needs at least one phase"
+        );
         let n = phases.len();
         let mut rng = StdRng::seed_from_u64(seed ^ 0xF1E1_D5);
         let transition = random_stochastic_matrix(&mut rng, n);
@@ -162,6 +165,7 @@ impl AppTrace {
         let gen_seed: u64 = self.rng.gen();
         self.generator = PhaseGenerator::new(self.app.phases[next], gen_seed);
         self.remaining_in_phase = self.sample_phase_len();
+        psca_obs::counter("workloads.phase_transitions").inc();
     }
 }
 

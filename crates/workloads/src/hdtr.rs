@@ -53,7 +53,10 @@ pub struct HdtrApp {
 /// # Panics
 /// Panics if `total_apps == 0`.
 pub fn hdtr_corpus(seed: u64, total_apps: usize, mean_phase_len: u64) -> Vec<HdtrApp> {
-    assert!(total_apps > 0, "corpus must contain at least one application");
+    assert!(
+        total_apps > 0,
+        "corpus must contain at least one application"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let paper_total: usize = Category::PAPER_APP_COUNTS.iter().sum();
     let mut corpus = Vec::with_capacity(total_apps);
@@ -98,12 +101,7 @@ pub fn hdtr_corpus(seed: u64, total_apps: usize, mean_phase_len: u64) -> Vec<Hdt
 pub fn composition(corpus: &[HdtrApp]) -> HdtrComposition {
     let per_category = Category::ALL
         .iter()
-        .map(|c| {
-            (
-                *c,
-                corpus.iter().filter(|a| a.app.category() == *c).count(),
-            )
-        })
+        .map(|c| (*c, corpus.iter().filter(|a| a.app.category() == *c).count()))
         .collect();
     HdtrComposition {
         per_category,

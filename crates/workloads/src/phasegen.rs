@@ -130,7 +130,7 @@ impl PhaseGenerator {
             self.data_byte = (self.data_byte + 8) % (ws * 64);
         } else {
             self.data_line = self.rng.gen_range(0..ws);
-            self.data_byte = self.data_line * 64 + self.rng.gen_range(0..8) * 8;
+            self.data_byte = self.data_line * 64 + self.rng.gen_range(0..8u64) * 8;
         }
         let line = self.data_byte / 64;
         self.line_to_addr(line) + self.data_byte % 64
@@ -163,8 +163,7 @@ impl PhaseGenerator {
             return self.chain_regs.len();
         }
         let pos = self.emitted % p.burst_period;
-        let wide_len =
-            ((1.0 - p.burst_serial_frac) * p.burst_period as f64).round() as u64;
+        let wide_len = ((1.0 - p.burst_serial_frac) * p.burst_period as f64).round() as u64;
         if pos < wide_len {
             self.chain_regs.len()
         } else {
@@ -356,7 +355,11 @@ mod tests {
 
     #[test]
     fn mix_matches_params_within_tolerance() {
-        for a in [Archetype::MemBound, Archetype::Branchy, Archetype::StoreHeavy] {
+        for a in [
+            Archetype::MemBound,
+            Archetype::Branchy,
+            Archetype::StoreHeavy,
+        ] {
             let p = a.center();
             let stats = stats_for(a, 50_000);
             let loads = stats.fraction(psca_trace::OpClass::Load);
@@ -375,7 +378,11 @@ mod tests {
     #[test]
     fn fp_archetypes_emit_fp_ops() {
         let stats = stats_for(Archetype::StreamFpWide, 20_000);
-        assert!(stats.fp_fraction() > 0.3, "fp fraction {}", stats.fp_fraction());
+        assert!(
+            stats.fp_fraction() > 0.3,
+            "fp fraction {}",
+            stats.fp_fraction()
+        );
     }
 
     #[test]

@@ -40,116 +40,204 @@ pub const SPEC_BENCHMARKS: [SpecBenchmark; 20] = [
         name: "600.perlbench_s",
         is_fp: false,
         workload_count: 4,
-        profile: &[Archetype::Branchy, Archetype::ScalarIlp, Archetype::IcacheHeavy, Archetype::ScalarIlp],
+        profile: &[
+            Archetype::Branchy,
+            Archetype::ScalarIlp,
+            Archetype::IcacheHeavy,
+            Archetype::ScalarIlp,
+        ],
     },
     SpecBenchmark {
         name: "602.gcc_s",
         is_fp: false,
         workload_count: 7,
-        profile: &[Archetype::IcacheHeavy, Archetype::PointerChase, Archetype::Branchy, Archetype::ScalarIlp],
+        profile: &[
+            Archetype::IcacheHeavy,
+            Archetype::PointerChase,
+            Archetype::Branchy,
+            Archetype::ScalarIlp,
+        ],
     },
     SpecBenchmark {
         name: "605.mcf_s",
         is_fp: false,
         workload_count: 7,
-        profile: &[Archetype::PointerChase, Archetype::MemBound, Archetype::ScalarIlp],
+        profile: &[
+            Archetype::PointerChase,
+            Archetype::MemBound,
+            Archetype::ScalarIlp,
+        ],
     },
     SpecBenchmark {
         name: "620.omnetpp_s",
         is_fp: false,
         workload_count: 9,
-        profile: &[Archetype::PointerChase, Archetype::DepChain, Archetype::Branchy, Archetype::Balanced],
+        profile: &[
+            Archetype::PointerChase,
+            Archetype::DepChain,
+            Archetype::Branchy,
+            Archetype::Balanced,
+        ],
     },
     SpecBenchmark {
         name: "623.xalancbmk_s",
         is_fp: false,
         workload_count: 2,
-        profile: &[Archetype::PointerChase, Archetype::ScalarIlp, Archetype::IcacheHeavy, Archetype::ScalarIlp],
+        profile: &[
+            Archetype::PointerChase,
+            Archetype::ScalarIlp,
+            Archetype::IcacheHeavy,
+            Archetype::ScalarIlp,
+        ],
     },
     SpecBenchmark {
         name: "625.x264_s",
         is_fp: false,
         workload_count: 12,
-        profile: &[Archetype::ScalarIlp, Archetype::SimdKernel, Archetype::ScalarIlp],
+        profile: &[
+            Archetype::ScalarIlp,
+            Archetype::SimdKernel,
+            Archetype::ScalarIlp,
+        ],
     },
     SpecBenchmark {
         name: "631.deepsjeng_s",
         is_fp: false,
         workload_count: 12,
-        profile: &[Archetype::Branchy, Archetype::ScalarIlp, Archetype::DepChain, Archetype::ScalarIlp],
+        profile: &[
+            Archetype::Branchy,
+            Archetype::ScalarIlp,
+            Archetype::DepChain,
+            Archetype::ScalarIlp,
+        ],
     },
     SpecBenchmark {
         name: "641.leela_s",
         is_fp: false,
         workload_count: 10,
-        profile: &[Archetype::Branchy, Archetype::PointerChase, Archetype::ScalarIlp, Archetype::ScalarIlp],
+        profile: &[
+            Archetype::Branchy,
+            Archetype::PointerChase,
+            Archetype::ScalarIlp,
+            Archetype::ScalarIlp,
+        ],
     },
     SpecBenchmark {
         name: "648.exchange2_s",
         is_fp: false,
         workload_count: 5,
-        profile: &[Archetype::ScalarIlp, Archetype::ScalarIlp, Archetype::ScalarIlp, Archetype::Branchy],
+        profile: &[
+            Archetype::ScalarIlp,
+            Archetype::ScalarIlp,
+            Archetype::ScalarIlp,
+            Archetype::Branchy,
+        ],
     },
     SpecBenchmark {
         name: "657.xz_s",
         is_fp: false,
         workload_count: 5,
-        profile: &[Archetype::DepChain, Archetype::MemBound, Archetype::ScalarIlp],
+        profile: &[
+            Archetype::DepChain,
+            Archetype::MemBound,
+            Archetype::ScalarIlp,
+        ],
     },
     // ---- floating-point suite ----
     SpecBenchmark {
         name: "603.bwaves_s",
         is_fp: true,
         workload_count: 5,
-        profile: &[Archetype::StreamFpChain, Archetype::MemBound, Archetype::StreamFpChain],
+        profile: &[
+            Archetype::StreamFpChain,
+            Archetype::MemBound,
+            Archetype::StreamFpChain,
+        ],
     },
     SpecBenchmark {
         name: "607.cactuBSSN_s",
         is_fp: true,
         workload_count: 6,
-        profile: &[Archetype::StreamFpChain, Archetype::MemBound, Archetype::TlbThrash, Archetype::ScalarIlp],
+        profile: &[
+            Archetype::StreamFpChain,
+            Archetype::MemBound,
+            Archetype::TlbThrash,
+            Archetype::ScalarIlp,
+        ],
     },
     SpecBenchmark {
         name: "619.lbm_s",
         is_fp: true,
         workload_count: 3,
-        profile: &[Archetype::MemBound, Archetype::StreamFpChain, Archetype::StoreHeavy, Archetype::ScalarIlp],
+        profile: &[
+            Archetype::MemBound,
+            Archetype::StreamFpChain,
+            Archetype::StoreHeavy,
+            Archetype::ScalarIlp,
+        ],
     },
     SpecBenchmark {
         name: "621.wrf_s",
         is_fp: true,
         workload_count: 1,
-        profile: &[Archetype::Balanced, Archetype::StreamFpChain, Archetype::ScalarIlp, Archetype::Branchy],
+        profile: &[
+            Archetype::Balanced,
+            Archetype::StreamFpChain,
+            Archetype::ScalarIlp,
+            Archetype::Branchy,
+        ],
     },
     SpecBenchmark {
         name: "627.cam4_s",
         is_fp: true,
         workload_count: 1,
-        profile: &[Archetype::Balanced, Archetype::Branchy, Archetype::StreamFpChain, Archetype::ScalarIlp],
+        profile: &[
+            Archetype::Balanced,
+            Archetype::Branchy,
+            Archetype::StreamFpChain,
+            Archetype::ScalarIlp,
+        ],
     },
     SpecBenchmark {
         name: "628.pop2_s",
         is_fp: true,
         workload_count: 1,
-        profile: &[Archetype::StreamFpChain, Archetype::MemBound, Archetype::Balanced],
+        profile: &[
+            Archetype::StreamFpChain,
+            Archetype::MemBound,
+            Archetype::Balanced,
+        ],
     },
     SpecBenchmark {
         name: "638.imagick_s",
         is_fp: true,
         workload_count: 12,
-        profile: &[Archetype::SimdKernel, Archetype::ScalarIlp, Archetype::SimdKernel],
+        profile: &[
+            Archetype::SimdKernel,
+            Archetype::ScalarIlp,
+            Archetype::SimdKernel,
+        ],
     },
     SpecBenchmark {
         name: "644.nab_s",
         is_fp: true,
         workload_count: 5,
-        profile: &[Archetype::StreamFpChain, Archetype::StreamFpChain, Archetype::DepChain],
+        profile: &[
+            Archetype::StreamFpChain,
+            Archetype::StreamFpChain,
+            Archetype::DepChain,
+        ],
     },
     SpecBenchmark {
         name: "649.fotonik3d_s",
         is_fp: true,
         workload_count: 5,
-        profile: &[Archetype::StreamFpWide, Archetype::StreamFpChain, Archetype::StreamFpWide, Archetype::MemBound],
+        profile: &[
+            Archetype::StreamFpWide,
+            Archetype::StreamFpChain,
+            Archetype::StreamFpWide,
+            Archetype::MemBound,
+        ],
     },
     SpecBenchmark {
         name: "654.roms_s",
@@ -157,7 +245,11 @@ pub const SPEC_BENCHMARKS: [SpecBenchmark; 20] = [
         workload_count: 5,
         // The blindspot benchmark: rich in the wide streaming-FP archetype
         // that expert counters cannot separate from its gateable twin.
-        profile: &[Archetype::StreamFpWide, Archetype::StreamFpChain, Archetype::StreamFpWide],
+        profile: &[
+            Archetype::StreamFpWide,
+            Archetype::StreamFpChain,
+            Archetype::StreamFpWide,
+        ],
     },
 ];
 
@@ -222,13 +314,8 @@ pub fn spec_suite(seed: u64, mean_phase_len: u64) -> Vec<SpecApp> {
                 Category::CloudSecurity
             };
             let app_seed: u64 = rng.gen();
-            let app = ApplicationModel::from_phases(
-                bench.name,
-                cat,
-                phases,
-                mean_phase_len,
-                app_seed,
-            );
+            let app =
+                ApplicationModel::from_phases(bench.name, cat, phases, mean_phase_len, app_seed);
             let workloads = (0..bench.workload_count)
                 .map(|i| {
                     let simpoints = if wl_index < extra { base + 1 } else { base };

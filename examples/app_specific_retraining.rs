@@ -32,7 +32,10 @@ fn main() {
         .iter()
         .find(|a| a.bench.name == "649.fotonik3d_s")
         .expect("benchmark present");
-    println!("tracing customer application {} on 4 inputs...", target.bench.name);
+    println!(
+        "tracing customer application {} on 4 inputs...",
+        target.bench.name
+    );
     let mut trace_for = |input: u64| {
         let mut src = target.app.trace(input);
         collect_paired(

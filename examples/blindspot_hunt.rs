@@ -34,14 +34,22 @@ fn main() {
     let ce = evaluate_model_on_corpus(&charstar, &spec, &cfg);
     let re = evaluate_model_on_corpus(&best_rf, &spec, &cfg);
 
-    println!("\n{:20} {:>14} {:>14}", "benchmark", "CHARSTAR RSV", "Best RF RSV");
+    println!(
+        "\n{:20} {:>14} {:>14}",
+        "benchmark", "CHARSTAR RSV", "Best RF RSV"
+    );
     let mut worst: (f64, String) = (0.0, String::new());
     for (name, cm) in &ce.per_app {
         let rf = re.app(name).map(|m| m.rsv).unwrap_or(0.0);
         if cm.rsv > worst.0 {
             worst = (cm.rsv, name.clone());
         }
-        println!("{:20} {:>13.1}% {:>13.1}%", name, 100.0 * cm.rsv, 100.0 * rf);
+        println!(
+            "{:20} {:>13.1}% {:>13.1}%",
+            name,
+            100.0 * cm.rsv,
+            100.0 * rf
+        );
     }
     println!(
         "\nCHARSTAR's worst blindspot: {} at {:.1}% RSV — users of that application",

@@ -27,7 +27,15 @@ fn main() {
         .expect("benchmark present");
     let mut trace_of = |input: u64| {
         let mut src = app.app.trace(input);
-        collect_paired(&mut src, 2_000, 48, cfg.interval_insts, 0, app.bench.name, input)
+        collect_paired(
+            &mut src,
+            2_000,
+            48,
+            cfg.interval_insts,
+            0,
+            app.bench.name,
+            input,
+        )
     };
     let future = CorpusTelemetry {
         traces: vec![trace_of(100), trace_of(101)],

@@ -17,7 +17,10 @@ fn main() {
 
     // 1. Synthesize a small high-diversity training corpus and simulate
     //    every trace in both cluster configurations (§4.1).
-    println!("simulating training corpus ({} applications)...", cfg.hdtr_apps);
+    println!(
+        "simulating training corpus ({} applications)...",
+        cfg.hdtr_apps
+    );
     let corpus = {
         let apps = hdtr_corpus(cfg.sub_seed("hdtr"), cfg.hdtr_apps, cfg.hdtr_phase_len);
         let mut traces = Vec::new();
@@ -60,5 +63,8 @@ fn main() {
         100.0 * result.low_power_residency
     );
     println!("  cycles: {}   energy: {:.0}", result.cycles, result.energy);
-    println!("  performance per watt: {:.4} insts/energy-unit", result.ppw());
+    println!(
+        "  performance per watt: {:.4} insts/energy-unit",
+        result.ppw()
+    );
 }

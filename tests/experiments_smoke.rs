@@ -80,8 +80,15 @@ fn fig6_screen_prefers_budget_nets() {
     let sel = &f6.points[f6.selected];
     assert!(sel.fits_50k_budget, "selected topology must fit the budget");
     // Cost ordering: the 32/32/16 net must cost more than the 4-filter net.
-    let big = f6.points.iter().find(|p| p.hidden == vec![32, 32, 16]).unwrap();
+    let big = f6
+        .points
+        .iter()
+        .find(|p| p.hidden == vec![32, 32, 16])
+        .unwrap();
     let small = f6.points.iter().find(|p| p.hidden == vec![4]).unwrap();
     assert!(big.ops > small.ops);
-    assert!(!big.fits_50k_budget, "32/32/16 exceeds the 50k budget (Table 3)");
+    assert!(
+        !big.fits_50k_budget,
+        "32/32/16 exceeds the 50k budget (Table 3)"
+    );
 }

@@ -2,8 +2,10 @@
 //! §3.2 delivery path — encode to a firmware image, ship the bytes,
 //! decode on the "CPU", and drive the closed loop identically.
 
-use psca::adapt::{record_trace, run_closed_loop, zoo, CorpusTelemetry, ExperimentConfig, ModelKind};
 use psca::adapt::collect_paired;
+use psca::adapt::{
+    record_trace, run_closed_loop, zoo, CorpusTelemetry, ExperimentConfig, ModelKind,
+};
 use psca::uc::image;
 use psca::workloads::{Archetype, PhaseGenerator};
 
@@ -72,7 +74,9 @@ fn charstar_firmware_also_roundtrips() {
     let back = image::decode(&img).expect("valid");
     // Spot-check decision agreement over a grid of inputs.
     for i in 0..200 {
-        let x: Vec<f64> = (0..8).map(|j| ((i * 7 + j * 13) % 19) as f64 / 19.0 - 0.5).collect();
+        let x: Vec<f64> = (0..8)
+            .map(|j| ((i * 7 + j * 13) % 19) as f64 / 19.0 - 0.5)
+            .collect();
         assert_eq!(model.fw_lo.predict(&x), back.predict(&x));
     }
 }

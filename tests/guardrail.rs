@@ -41,13 +41,8 @@ fn guardrail_masks_a_blind_models_violations() {
     // Confront it with wide-ILP code it has never seen.
     let hostile = corpus(&[Archetype::ScalarIlp, Archetype::SimdKernel], 77);
     let without = evaluate_with_guardrail(&model, &hostile, &cfg, None).overall;
-    let with = evaluate_with_guardrail(
-        &model,
-        &hostile,
-        &cfg,
-        Some(GuardrailConfig::default()),
-    )
-    .overall;
+    let with =
+        evaluate_with_guardrail(&model, &hostile, &cfg, Some(GuardrailConfig::default())).overall;
     assert!(
         without.rsv > 0.2,
         "the blind model should violate heavily: rsv {}",

@@ -58,7 +58,13 @@ fn closed_loop_and_emulation_agree_on_residency() {
     // Emulated closed loop over paired telemetry of the same generator.
     let mut gen2 = PhaseGenerator::new(archetype.center(), 1234);
     let paired = collect_paired(&mut gen2, 2_000, 32, 2_000, 0, "probe", 1);
-    let emu = evaluate_model_on_corpus(&model, &CorpusTelemetry { traces: vec![paired] }, &cfg);
+    let emu = evaluate_model_on_corpus(
+        &model,
+        &CorpusTelemetry {
+            traces: vec![paired],
+        },
+        &cfg,
+    );
     let delta = (real.low_power_residency - emu.overall.residency).abs();
     assert!(
         delta < 0.25,
@@ -112,7 +118,10 @@ fn telemetry_modes_differ_where_it_matters() {
         // Mispredicts per instruction are mode-independent here.
         let hi_mpki = paired.rows_hi[t][Event::BranchMispredicts.index()] / hi_ipc;
         let lo_mpki = paired.rows_lo[t][Event::BranchMispredicts.index()] / lo_ipc;
-        assert!((hi_mpki - lo_mpki).abs() < 0.01, "t={t}: {hi_mpki} vs {lo_mpki}");
+        assert!(
+            (hi_mpki - lo_mpki).abs() < 0.01,
+            "t={t}: {hi_mpki} vs {lo_mpki}"
+        );
     }
 }
 
@@ -146,7 +155,11 @@ fn mode_is_applied_with_two_window_delay() {
     // Afterwards, applied modes follow the recorded predictions.
     for (i, pred) in res.predictions.iter().enumerate().skip(2) {
         if let Some(p) = pred {
-            let expect = if *p == 1 { Mode::LowPower } else { Mode::HighPerf };
+            let expect = if *p == 1 {
+                Mode::LowPower
+            } else {
+                Mode::HighPerf
+            };
             assert_eq!(res.modes[i], expect, "window {i}");
         }
     }

@@ -1,0 +1,336 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no access to crates.io, so this vendored crate
+//! provides a small wall-clock benchmarking harness with criterion's
+//! surface: `criterion_group!`/`criterion_main!`, `Criterion`,
+//! `BenchmarkGroup`, `Bencher::iter`, `BenchmarkId`, `Throughput`, and
+//! [`black_box`]. Each benchmark is warmed up briefly, then sampled
+//! `sample_size` times; the mean, min, and max per-iteration times are
+//! printed, plus derived element throughput when one was declared.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared work-per-iteration, used to derive throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Benchmark identifier: a function name plus a parameter label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// One benchmark's measured timing summary.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Full benchmark id (`group/bench`).
+    pub id: String,
+    /// Mean seconds per iteration.
+    pub mean_s: f64,
+    /// Fastest sample, seconds per iteration.
+    pub min_s: f64,
+    /// Slowest sample, seconds per iteration.
+    pub max_s: f64,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+    /// Declared per-iteration work, if any.
+    pub throughput: Option<Throughput>,
+}
+
+impl Measurement {
+    /// Elements per second, when element throughput was declared.
+    pub fn elements_per_sec(&self) -> Option<f64> {
+        match self.throughput {
+            Some(Throughput::Elements(n)) if self.mean_s > 0.0 => Some(n as f64 / self.mean_s),
+            _ => None,
+        }
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    result: Option<(f64, f64, f64, u64)>,
+}
+
+impl Bencher {
+    /// Times `f`, storing per-iteration statistics.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: find an iteration count that takes >= ~5 ms, capped
+        // so pathological one-shot benches still terminate.
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(5) || iters >= 1 << 20 {
+                break;
+            }
+            iters = (iters * 4).min(1 << 20);
+        }
+        let mut mean = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        let samples = self.sample_size.max(1);
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let per_iter = t0.elapsed().as_secs_f64() / iters as f64;
+            mean += per_iter;
+            min = min.min(per_iter);
+            max = max.max(per_iter);
+        }
+        mean /= samples as f64;
+        self.result = Some((mean, min, max, iters));
+    }
+}
+
+fn humanize(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration work for subsequent benches in the group.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let (sample_size, throughput) = (self.sample_size, self.throughput);
+        self.criterion.run_bench(&full, sample_size, throughput, f);
+        self
+    }
+
+    /// Runs one benchmark with an input handle.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let (sample_size, throughput) = (self.sample_size, self.throughput);
+        self.criterion
+            .run_bench(&full, sample_size, throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; prints nothing extra).
+    pub fn finish(self) {}
+}
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurements: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            measurements: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = id.to_string();
+        let sample_size = self.sample_size;
+        self.run_bench(&full, sample_size, None, f);
+        self
+    }
+
+    /// All measurements recorded so far (used by callers that want to
+    /// persist results beyond the console output).
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    fn run_bench<F>(
+        &mut self,
+        full_id: &str,
+        sample_size: usize,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size,
+            result: None,
+        };
+        f(&mut b);
+        let Some((mean, min, max, iters)) = b.result else {
+            eprintln!("{full_id:<50} (no Bencher::iter call)");
+            return;
+        };
+        let m = Measurement {
+            id: full_id.to_string(),
+            mean_s: mean,
+            min_s: min,
+            max_s: max,
+            iters_per_sample: iters,
+            throughput,
+        };
+        let mut line = format!(
+            "{full_id:<50} time: [{} {} {}]",
+            humanize(min),
+            humanize(mean),
+            humanize(max)
+        );
+        if let Some(eps) = m.elements_per_sec() {
+            line.push_str(&format!("  thrpt: {:.3} Melem/s", eps / 1e6));
+        }
+        println!("{line}");
+        self.measurements.push(m);
+    }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_timing() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        assert_eq!(c.measurements().len(), 1);
+        let m = &c.measurements()[0];
+        assert!(m.mean_s > 0.0);
+        assert!(m.min_s <= m.mean_s && m.mean_s <= m.max_s);
+    }
+
+    #[test]
+    fn throughput_derives_elements_per_sec() {
+        let mut c = Criterion::default().sample_size(2);
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Elements(1000));
+            g.bench_function("work", |b| b.iter(|| black_box(42u64) * 2));
+            g.finish();
+        }
+        let m = &c.measurements()[0];
+        assert!(m.elements_per_sec().unwrap() > 0.0);
+    }
+}
