@@ -105,11 +105,26 @@ pub fn run_closed_loop(
             low_windows += 1;
             psca_obs::counter("adapt.windows_gated_low").inc();
         }
+        psca_obs::series("adapt.window.gated").push(if window_mode == Mode::LowPower {
+            1.0
+        } else {
+            0.0
+        });
         // Counters from window t → configuration for window t+HORIZON.
         let gate = model.predict(window_mode, &rows, &row_cycles);
         if psca_obs::enabled(psca_obs::Level::Trace) {
             psca_obs::emit(
                 psca_obs::Level::Trace,
+                "adapt.window.decision",
+                &[
+                    ("window", widx.into()),
+                    ("mode", window_mode.to_string().into()),
+                    ("gate", gate.into()),
+                ],
+            );
+        }
+        if psca_obs::trace::enabled() {
+            psca_obs::trace::instant(
                 "adapt.window.decision",
                 &[
                     ("window", widx.into()),

@@ -21,6 +21,8 @@ pub struct SteeringAblation {
 
 /// Compares dependence-aware steering with blind round-robin.
 pub fn steering(cfg: &ExperimentConfig) -> SteeringAblation {
+    // Scope global metrics/series to this experiment (see ISSUE 2).
+    psca_obs::reset_all();
     let insts = 16 * cfg.interval_insts;
     let rows = [
         Archetype::ScalarIlp,
@@ -111,6 +113,8 @@ fn crossval_rf(
 /// Horizon ablation: reactive (t), no-compute-time (t+1), and the
 /// paper's design point (t+2).
 pub fn horizon(cfg: &ExperimentConfig, hdtr: &CorpusTelemetry) -> Vec<PredictionAblation> {
+    // Scope global metrics/series to this experiment (see ISSUE 2).
+    psca_obs::reset_all();
     let events: Vec<Event> = TABLE4_COUNTERS.to_vec();
     let w = violation_window(cfg, 1);
     [0usize, 1, 2]
@@ -131,6 +135,8 @@ pub fn horizon(cfg: &ExperimentConfig, hdtr: &CorpusTelemetry) -> Vec<Prediction
 /// Normalization ablation: per-cycle-normalized counters (the paper's
 /// choice, §4.1) vs raw per-interval counts.
 pub fn normalization(cfg: &ExperimentConfig, hdtr: &CorpusTelemetry) -> Vec<PredictionAblation> {
+    // Scope global metrics/series to this experiment (see ISSUE 2).
+    psca_obs::reset_all();
     let events: Vec<Event> = TABLE4_COUNTERS.to_vec();
     let w = violation_window(cfg, 1);
     let normalized = build_dataset_with_horizon(hdtr, Mode::LowPower, &events, 1, &cfg.sla, 2);
@@ -183,6 +189,8 @@ pub struct WidthAblation {
 
 /// Sweeps per-cluster issue width.
 pub fn cluster_width(cfg: &ExperimentConfig) -> WidthAblation {
+    // Scope global metrics/series to this experiment (see ISSUE 2).
+    psca_obs::reset_all();
     let insts = 16 * cfg.interval_insts;
     let mut rows = Vec::new();
     for &width in &[2u32, 4, 6] {
@@ -241,6 +249,8 @@ pub struct DvfsAblation {
 /// Measures DVFS-only, gating-only, and combined configurations against
 /// the static high-performance baseline at the reference operating point.
 pub fn dvfs(cfg: &ExperimentConfig, corpus: &CorpusTelemetry) -> DvfsAblation {
+    // Scope global metrics/series to this experiment (see ISSUE 2).
+    psca_obs::reset_all();
     use psca_cpu::{DvfsGovernor, DvfsModel};
     let model = DvfsModel::skylake_scaled();
     let llc = Event::LlcMisses.index();
@@ -250,8 +260,8 @@ pub fn dvfs(cfg: &ExperimentConfig, corpus: &CorpusTelemetry) -> DvfsAblation {
         let labels = trace.labels(&cfg.sla);
         let mut governor_hi = DvfsGovernor::new(model.clone(), 0.05);
         let mut governor_both = DvfsGovernor::new(model.clone(), 0.05);
-        for t in 0..trace.len() {
-            let gate = labels[t] == 1;
+        for (t, &label) in labels.iter().enumerate() {
+            let gate = label == 1;
             let (cyc_hi, e_hi, miss_hi) = (
                 trace.cycles_hi[t],
                 trace.energy_hi[t],
@@ -383,6 +393,8 @@ pub fn guardrail(
     hdtr: &CorpusTelemetry,
     spec: &CorpusTelemetry,
 ) -> GuardrailAblation {
+    // Scope global metrics/series to this experiment (see ISSUE 2).
+    psca_obs::reset_all();
     use crate::experiments::eval::evaluate_with_guardrail;
     use crate::guardrail::GuardrailConfig;
     use crate::train::ModelKind;
@@ -420,6 +432,29 @@ impl std::fmt::Display for GuardrailAblation {
         }
         Ok(())
     }
+}
+
+/// Formats ablation points as a table.
+pub fn format_points(title: &str, points: &[PredictionAblation]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(s, "Ablation — {title}");
+    let _ = writeln!(
+        s,
+        "{:30} {:>8} {:>8} {:>9}",
+        "variant", "PGOS", "RSV", "accuracy"
+    );
+    for p in points {
+        let _ = writeln!(
+            s,
+            "{:30} {:>7.1}% {:>7.2}% {:>8.1}%",
+            p.label,
+            100.0 * p.pgos,
+            100.0 * p.rsv,
+            100.0 * p.accuracy
+        );
+    }
+    s
 }
 
 #[cfg(test)]
@@ -483,27 +518,4 @@ mod tests {
         );
         assert!(scalar_hi[1] < scalar_hi[2]);
     }
-}
-
-/// Formats ablation points as a table.
-pub fn format_points(title: &str, points: &[PredictionAblation]) -> String {
-    use std::fmt::Write;
-    let mut s = String::new();
-    let _ = writeln!(s, "Ablation — {title}");
-    let _ = writeln!(
-        s,
-        "{:30} {:>8} {:>8} {:>9}",
-        "variant", "PGOS", "RSV", "accuracy"
-    );
-    for p in points {
-        let _ = writeln!(
-            s,
-            "{:30} {:>7.1}% {:>7.2}% {:>8.1}%",
-            p.label,
-            100.0 * p.pgos,
-            100.0 * p.rsv,
-            100.0 * p.accuracy
-        );
-    }
-    s
 }

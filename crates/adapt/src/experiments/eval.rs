@@ -188,6 +188,16 @@ fn emulate_trace(
                     ("window_len", (end - i).into()),
                 ],
             );
+            if psca_obs::trace::enabled() {
+                psca_obs::trace::instant(
+                    "sla.violation",
+                    &[
+                        ("app", trace.app_name.as_str().into()),
+                        ("window_start", i.into()),
+                        ("false_gates", fp.into()),
+                    ],
+                );
+            }
         }
         acc.windows += 1;
         i = end;
@@ -198,6 +208,10 @@ fn emulate_trace(
     psca_obs::counter("adapt.windows_gated_low").add(acc.low_windows as u64);
     psca_obs::counter("adapt.mispredictions").add(c.fp + c.fn_);
     psca_obs::counter("adapt.predictions").add(c.tp + c.fp + c.tn + c.fn_);
+    let preds = c.tp + c.fp + c.tn + c.fn_;
+    if preds > 0 {
+        psca_obs::series("adapt.eval.accuracy").push((c.tp + c.tn) as f64 / preds as f64);
+    }
     acc
 }
 

@@ -36,6 +36,8 @@ pub struct Fig10 {
 
 /// Runs the ablation.
 pub fn run(cfg: &ExperimentConfig, hdtr: &CorpusTelemetry, spec: &CorpusTelemetry) -> Fig10 {
+    // Scope global metrics/series to this experiment (see ISSUE 2).
+    psca_obs::reset_all();
     let g = 2; // CHARSTAR granularity for the baseline steps
     let mut steps = Vec::new();
 

@@ -59,6 +59,8 @@ fn sweep_sizes(total_apps: usize) -> Vec<usize> {
 
 /// Runs the diversity sweep.
 pub fn run(cfg: &ExperimentConfig, hdtr: &CorpusTelemetry) -> Fig4 {
+    // Scope global metrics/series to this experiment (see ISSUE 2).
+    psca_obs::reset_all();
     let events = TABLE4_COUNTERS.to_vec();
     let raw = build_dataset(hdtr, Mode::LowPower, &events, 1, &cfg.sla);
     let w = violation_window(cfg, 1);

@@ -67,6 +67,8 @@ fn evaluate_counters(
 
 /// Runs the counter-count sweep and the PF-vs-expert comparison.
 pub fn run(cfg: &ExperimentConfig, hdtr: &CorpusTelemetry) -> Fig5 {
+    // Scope global metrics/series to this experiment (see ISSUE 2).
+    psca_obs::reset_all();
     // PF-order the counters once (greedy order → prefixes are nested).
     let max_traces = hdtr.traces.len().min(40);
     let selection = run_counter_selection(hdtr, cfg, Mode::LowPower, 32, max_traces);

@@ -32,6 +32,8 @@ pub struct Fig9 {
 
 /// Trains both models on HDTR and breaks results out per benchmark.
 pub fn run(cfg: &ExperimentConfig, hdtr: &CorpusTelemetry, spec: &CorpusTelemetry) -> Fig9 {
+    // Scope global metrics/series to this experiment (see ISSUE 2).
+    psca_obs::reset_all();
     let charstar = zoo::train(ModelKind::Charstar, hdtr, cfg);
     let best_rf = zoo::train(ModelKind::BestRf, hdtr, cfg);
     let ce = evaluate_model_on_corpus(&charstar, spec, cfg);
@@ -65,6 +67,43 @@ impl Fig9 {
             .map(|r| r.best_rf.rsv)
             .fold(0.0f64, f64::max);
         (c, b)
+    }
+}
+
+impl std::fmt::Display for Fig9 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Figure 9 — per-benchmark PPW / RSV: CHARSTAR vs Best RF")?;
+        writeln!(
+            f,
+            "{:20} {:>9} {:>8} {:>9} {:>8}",
+            "benchmark", "CHR PPW", "CHR RSV", "RF PPW", "RF RSV"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:20} {:>8.1}% {:>7.2}% {:>8.1}% {:>7.2}%",
+                r.name,
+                100.0 * r.charstar.ppw_gain,
+                100.0 * r.charstar.rsv,
+                100.0 * r.best_rf.ppw_gain,
+                100.0 * r.best_rf.rsv
+            )?;
+        }
+        let (wc, wb) = self.worst_rsv();
+        writeln!(
+            f,
+            "overall: CHARSTAR PPW {:.1}% / RSV {:.2}% (worst {:.1}%), Best RF PPW {:.1}% / RSV {:.2}% (worst {:.1}%)",
+            100.0 * self.overall.0.ppw_gain,
+            100.0 * self.overall.0.rsv,
+            100.0 * wc,
+            100.0 * self.overall.1.ppw_gain,
+            100.0 * self.overall.1.rsv,
+            100.0 * wb
+        )?;
+        writeln!(
+            f,
+            "(paper: CHARSTAR hits 77.8% RSV on roms_s; Best RF < 1% everywhere)"
+        )
     }
 }
 
@@ -103,42 +142,5 @@ mod tests {
         let text = fig.to_string();
         assert!(text.contains("roms"));
         assert!(text.contains("77.80%"));
-    }
-}
-
-impl std::fmt::Display for Fig9 {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Figure 9 — per-benchmark PPW / RSV: CHARSTAR vs Best RF")?;
-        writeln!(
-            f,
-            "{:20} {:>9} {:>8} {:>9} {:>8}",
-            "benchmark", "CHR PPW", "CHR RSV", "RF PPW", "RF RSV"
-        )?;
-        for r in &self.rows {
-            writeln!(
-                f,
-                "{:20} {:>8.1}% {:>7.2}% {:>8.1}% {:>7.2}%",
-                r.name,
-                100.0 * r.charstar.ppw_gain,
-                100.0 * r.charstar.rsv,
-                100.0 * r.best_rf.ppw_gain,
-                100.0 * r.best_rf.rsv
-            )?;
-        }
-        let (wc, wb) = self.worst_rsv();
-        writeln!(
-            f,
-            "overall: CHARSTAR PPW {:.1}% / RSV {:.2}% (worst {:.1}%), Best RF PPW {:.1}% / RSV {:.2}% (worst {:.1}%)",
-            100.0 * self.overall.0.ppw_gain,
-            100.0 * self.overall.0.rsv,
-            100.0 * wc,
-            100.0 * self.overall.1.ppw_gain,
-            100.0 * self.overall.1.rsv,
-            100.0 * wb
-        )?;
-        writeln!(
-            f,
-            "(paper: CHARSTAR hits 77.8% RSV on roms_s; Best RF < 1% everywhere)"
-        )
     }
 }

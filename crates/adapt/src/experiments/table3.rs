@@ -46,6 +46,8 @@ pub struct Table3 {
 /// Trains every §5 model class on low-power-mode telemetry and measures
 /// firmware cost + validation PGOS.
 pub fn run(cfg: &ExperimentConfig, hdtr: &CorpusTelemetry) -> Table3 {
+    // Scope global metrics/series to this experiment (see ISSUE 2).
+    psca_obs::reset_all();
     let cpu = CpuSpec::paper();
     let mcu = McuSpec::paper();
     let budget = [10_000u64, 20_000, 30_000, 40_000, 50_000, 60_000, 100_000]

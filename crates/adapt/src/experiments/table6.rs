@@ -41,6 +41,8 @@ pub const MIN_WORKLOADS: usize = 5;
 
 /// Runs the leave-one-workload-out comparison.
 pub fn run(cfg: &ExperimentConfig, hdtr: &CorpusTelemetry, spec: &CorpusTelemetry) -> Table6 {
+    // Scope global metrics/series to this experiment (see ISSUE 2).
+    psca_obs::reset_all();
     let general = zoo::train(ModelKind::BestRf, hdtr, cfg);
     let general_eval = evaluate_model_on_corpus(&general, spec, cfg);
     let halves = train_hdtr_halves(cfg, hdtr, general.granularity);
@@ -63,7 +65,7 @@ pub fn run(cfg: &ExperimentConfig, hdtr: &CorpusTelemetry, spec: &CorpusTelemetr
         }
         // Headroom filter: the paper only evaluates applications where the
         // general model seizes < 95% of opportunities.
-        if general_eval.app(&name).map_or(true, |m| m.pgos >= 0.95) {
+        if general_eval.app(&name).is_none_or(|m| m.pgos >= 0.95) {
             continue;
         }
         let mut gen_acc: (f64, f64, f64) = (0.0, 0.0, 0.0); // ppw, rsv, n

@@ -107,6 +107,7 @@ impl Guardrail {
                     self.consecutive_breaches = 0;
                     self.cooldown_left = self.cfg.cooldown;
                     psca_obs::counter("adapt.guardrail.trips").inc();
+                    psca_obs::series("adapt.guardrail.trips").push(self.trips as f64);
                     psca_obs::emit(
                         psca_obs::Level::Warn,
                         "guardrail.trip",
@@ -117,6 +118,16 @@ impl Guardrail {
                             ("cooldown", self.cfg.cooldown.into()),
                         ],
                     );
+                    if psca_obs::trace::enabled() {
+                        psca_obs::trace::instant(
+                            "guardrail.trip",
+                            &[
+                                ("trips", self.trips.into()),
+                                ("ipc", ipc.into()),
+                                ("ref_ipc", ref_ipc.into()),
+                            ],
+                        );
+                    }
                 }
             }
         } else {
@@ -197,7 +208,7 @@ mod tests {
                 forced += 1;
             }
         }
-        assert!(forced >= 2 && forced < 6, "forced {forced} windows");
+        assert!((2..6).contains(&forced), "forced {forced} windows");
         assert!(!g.in_cooldown());
         assert!(g.vet(true, 3.9, true));
     }

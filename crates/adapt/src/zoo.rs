@@ -77,6 +77,16 @@ pub fn train(
                 ],
             );
         }
+        if psca_obs::trace::enabled() {
+            psca_obs::trace::instant(
+                "train.round",
+                &[
+                    ("model", kind.name().into()),
+                    ("mode", mode.to_string().into()),
+                    ("wall_ms", (wall_ns as f64 / 1e6).into()),
+                ],
+            );
+        }
         per_mode.push(round);
     }
     let (feat_lo, fw_lo) = per_mode.pop().unwrap();
@@ -254,6 +264,7 @@ pub fn train_custom_mlp(
 
 /// Trains a Best-RF-style model on a pre-built dataset pair (used by the
 /// application-specific retraining of §7.3, where tuning sets are custom).
+#[allow(clippy::too_many_arguments)] // mirrors the §7.3 retraining recipe
 pub fn train_rf_from_datasets(
     rf_cfg: &RandomForestConfig,
     data_hi: &Dataset,

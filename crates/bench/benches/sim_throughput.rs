@@ -47,8 +47,14 @@ fn mode_switch(c: &mut Criterion) {
 
 /// Custom harness entry (instead of `criterion_main!`) so the measured
 /// simulated-instructions/sec baseline lands in a `target/obs/` run
-/// report alongside the normal criterion output.
+/// report alongside the normal criterion output — including the
+/// per-interval `cpu.sim.ipc` time-series the simulator records, which
+/// `RunReport::write` serializes into the JSON plus a `.series.csv`
+/// artifact.
 fn main() {
+    // Scope the registry to this bench so the recorded IPC series covers
+    // exactly the benchmarked intervals.
+    psca_obs::reset_all();
     let mut criterion = Criterion::default().sample_size(10);
     let mut report = psca_obs::RunReport::new("bench-sim_throughput");
     sim_throughput(&mut criterion);
@@ -69,7 +75,13 @@ fn main() {
     // `target/obs`.
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/obs");
     match report.write(&dir) {
-        Ok(path) => eprintln!("[bench] run report: {}", path.display()),
+        Ok(path) => {
+            eprintln!("[bench] run report: {}", path.display());
+            let csv = path.with_extension("").with_extension("series.csv");
+            if csv.exists() {
+                eprintln!("[bench] ipc time-series: {}", csv.display());
+            }
+        }
         Err(e) => eprintln!("[bench] failed to write run report: {e}"),
     }
 }

@@ -1,54 +1,164 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro -- all                # everything, full scaled config (release!)
-//! repro -- fig8 fig9          # specific experiments
-//! repro -- table5 --quick     # seconds-scale config for smoke testing
+//! repro -- all                       # everything, full scaled config (release!)
+//! repro -- fig8 fig9                 # specific experiments
+//! repro -- table5 --quick            # seconds-scale config for smoke testing
+//! repro -- all --trace-out t.json    # record a Perfetto trace
+//! repro -- all --serve-metrics       # live /metrics + /healthz + /report
+//! repro -- all --dash                # live TTY dashboard on stderr
 //! ```
+//!
+//! Observability: every experiment driver scopes the global metric
+//! registry to itself (`reset_all()` at entry), so this binary snapshots
+//! and absorbs the registry around each experiment to keep the end-of-run
+//! report covering the whole invocation.
 
 use psca_adapt::experiments::{ablations, fig10, fig4, fig5, fig6, fig7, fig8, fig9};
 use psca_adapt::experiments::{table1, table2, table3, table4, table5, table6};
 use psca_adapt::ExperimentConfig;
 use psca_bench::{Corpora, EXPERIMENTS};
-use psca_obs::RunReport;
+use psca_obs::{MetricsSnapshot, RunReport};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
-fn main() {
+/// Experiments that replay the HDTR corpus (prefetched before the loop so
+/// corpus construction is measured once, outside any experiment scope).
+const NEEDS_HDTR: &[&str] = &[
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig8",
+    "fig9",
+    "fig10",
+    "ablate-guardrail",
+    "ablate-horizon",
+    "ablate-normalization",
+];
+
+/// Experiments that replay the SPEC-like corpus.
+const NEEDS_SPEC: &[&str] = &[
+    "table5",
+    "table6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "ablate-dvfs",
+    "ablate-guardrail",
+];
+
+struct Cli {
+    quick: bool,
+    dash: bool,
+    serve_metrics: bool,
+    trace_out: Option<String>,
+    wanted: Vec<String>,
+}
+
+fn parse_cli() -> Cli {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let mut wanted: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .cloned()
-        .collect();
-    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
-        wanted = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    let mut cli = Cli {
+        quick: false,
+        dash: false,
+        serve_metrics: false,
+        trace_out: None,
+        wanted: Vec::new(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => cli.quick = true,
+            "--dash" => cli.dash = true,
+            "--serve-metrics" => cli.serve_metrics = true,
+            "--trace-out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => cli.trace_out = Some(path.clone()),
+                    None => {
+                        eprintln!("[repro] --trace-out requires a path argument");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!(
+                    "[repro] unknown flag '{flag}'. Known: --quick --dash --serve-metrics --trace-out PATH"
+                );
+                std::process::exit(2);
+            }
+            id => cli.wanted.push(id.to_string()),
+        }
+        i += 1;
     }
-    let cfg = if quick {
+    if cli.wanted.is_empty() || cli.wanted.iter().any(|w| w == "all") {
+        cli.wanted = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    cli
+}
+
+fn main() {
+    let cli = parse_cli();
+    let cfg = if cli.quick {
         ExperimentConfig::quick()
     } else {
         ExperimentConfig::full()
     };
     eprintln!(
         "[repro] config: {} (interval {} insts, {} HDTR apps, SLA P={:.2})",
-        if quick { "quick" } else { "full" },
+        if cli.quick { "quick" } else { "full" },
         cfg.interval_insts,
         cfg.hdtr_apps,
         cfg.sla.p_sla
     );
     psca_obs::init_from_env();
+    if let Some(path) = &cli.trace_out {
+        if !psca_obs::trace::enable(path) {
+            eprintln!("[repro] trace recorder already active (PSCA_TRACE?); keeping it");
+        }
+    }
+    if cli.serve_metrics {
+        let addr = std::env::var("PSCA_METRICS_ADDR").unwrap_or_else(|_| "127.0.0.1:9185".into());
+        psca_obs::exporter::serve(&addr);
+    }
+    let dash = cli.dash.then(Dashboard::start);
+
     let run_id = format!(
         "repro-{}{}",
-        if quick { "quick" } else { "full" },
-        if wanted.len() == EXPERIMENTS.len() {
+        if cli.quick { "quick" } else { "full" },
+        if cli.wanted.len() == EXPERIMENTS.len() {
             String::new()
         } else {
-            format!("-{}", wanted.join("+"))
+            format!("-{}", cli.wanted.join("+"))
         }
     );
     let mut report = RunReport::new(&run_id);
+    let mut acc = MetricsSnapshot::default();
     let mut corpora = Corpora::new();
-    for id in &wanted {
+    // Prefetch shared corpora before any experiment resets the registry,
+    // so corpus-construction metrics land in the accumulated snapshot.
+    if cli.wanted.iter().any(|w| NEEDS_HDTR.contains(&w.as_str())) {
+        let _span = psca_obs::SpanTimer::start("repro.corpus.hdtr");
+        corpora.hdtr(&cfg);
+    }
+    if cli.wanted.iter().any(|w| NEEDS_SPEC.contains(&w.as_str())) {
+        let _span = psca_obs::SpanTimer::start("repro.corpus.spec");
+        corpora.spec(&cfg);
+    }
+    for id in &cli.wanted {
+        // The driver's reset_all() at entry scopes the registry to the
+        // experiment, so capture everything recorded since the previous
+        // reset (the prior experiment, corpus builds, spans) first. The
+        // registry is intentionally never reset here: after the loop it
+        // still holds the last experiment, keeping /metrics meaningful
+        // during a PSCA_METRICS_LINGER_S window.
+        acc.absorb(&psca_obs::snapshot());
         let _span = psca_obs::SpanTimer::start(&format!("repro.{id}"));
         let t0 = Instant::now();
         match id.as_str() {
@@ -187,13 +297,34 @@ fn main() {
         report.add_phase(id, wall);
         eprintln!("[repro] {id} done in {wall:.1}s\n");
     }
-    finalize_report(&mut report);
+    // Fold in the final experiment (no reset followed it).
+    acc.absorb(&psca_obs::snapshot());
+    if let Some(dash) = dash {
+        dash.stop();
+    }
+    finalize_report(&mut report, &acc);
+    if let Some(path) = psca_obs::trace::finish() {
+        eprintln!(
+            "[repro] trace: {} (load in https://ui.perfetto.dev)",
+            path.display()
+        );
+    }
+    // Keep the metrics endpoints up briefly so scrapers (CI smoke) can
+    // observe the finished run before the process exits.
+    if let Ok(linger) = std::env::var("PSCA_METRICS_LINGER_S") {
+        if let Ok(secs) = linger.trim().parse::<u64>() {
+            if psca_obs::exporter::global_addr().is_some() && secs > 0 {
+                eprintln!("[repro] lingering {secs}s for metric scrapes");
+                std::thread::sleep(std::time::Duration::from_secs(secs));
+            }
+        }
+    }
+    psca_obs::exporter::shutdown_global();
 }
 
-/// Derives the headline summary from the global metrics and writes the
-/// run-report artifact to `target/obs/`.
-fn finalize_report(report: &mut RunReport) {
-    let snap = psca_obs::snapshot();
+/// Derives the headline summary from the accumulated metrics snapshot and
+/// writes the run-report artifact to `target/obs/`.
+fn finalize_report(report: &mut RunReport, snap: &MetricsSnapshot) {
     let c = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
     let insts = c("cpu.sim.instructions");
     let cycles = c("cpu.sim.cycles");
@@ -226,10 +357,89 @@ fn finalize_report(report: &mut RunReport) {
     if let Some(&rsv) = snap.gauges.get("adapt.eval.last_rsv") {
         report.set("last_rsv", rsv);
     }
-    match report.write_default() {
+    match report.write_with(Path::new("target/obs"), snap) {
         Ok(path) => eprintln!("[repro] run report: {}", path.display()),
         Err(e) => eprintln!("[repro] failed to write run report: {e}"),
     }
     println!("{}", report.render());
     psca_obs::flush();
+}
+
+/// Live TTY dashboard: repaints a small block of key metrics on stderr
+/// every ~500 ms from the global registry.
+struct Dashboard {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+impl Dashboard {
+    const LINES: usize = 7;
+
+    fn start() -> Dashboard {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("repro-dash".into())
+            .spawn(move || {
+                let mut painted = false;
+                while !stop2.load(Ordering::Relaxed) {
+                    if painted {
+                        // Move the cursor back up over the previous frame.
+                        eprint!("\x1b[{}A", Self::LINES);
+                    }
+                    eprint!("{}", Self::frame());
+                    painted = true;
+                    std::thread::sleep(std::time::Duration::from_millis(500));
+                }
+            })
+            .expect("spawn dashboard thread");
+        Dashboard { stop, handle }
+    }
+
+    fn frame() -> String {
+        let snap = psca_obs::snapshot();
+        let c = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+        let last = |name: &str| {
+            snap.series
+                .get(name)
+                .and_then(|pts| pts.last())
+                .map(|(_, y)| *y)
+        };
+        let mut out = String::new();
+        out.push_str("\x1b[2K── psca live ──────────────────────────\n");
+        out.push_str(&format!(
+            "\x1b[2K instructions    {:>14}\n",
+            c("cpu.sim.instructions")
+        ));
+        out.push_str(&format!(
+            "\x1b[2K intervals       {:>14}\n",
+            c("cpu.sim.intervals")
+        ));
+        out.push_str(&format!(
+            "\x1b[2K ipc (last)      {:>14}\n",
+            last("cpu.sim.ipc")
+                .map(|v| format!("{v:.3}"))
+                .unwrap_or_else(|| "-".into())
+        ));
+        out.push_str(&format!(
+            "\x1b[2K windows         {:>14}  gated {}\n",
+            c("adapt.windows"),
+            c("adapt.windows_gated_low")
+        ));
+        out.push_str(&format!(
+            "\x1b[2K guardrail trips {:>14}\n",
+            c("adapt.guardrail.trips")
+        ));
+        out.push_str(&format!(
+            "\x1b[2K sla violations  {:>14}\n",
+            c("adapt.sla.violations")
+        ));
+        out
+    }
+
+    fn stop(self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = self.handle.join();
+        eprintln!();
+    }
 }

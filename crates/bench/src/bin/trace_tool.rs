@@ -9,6 +9,11 @@
 //! trace-tool stats  <in.pstr>
 //! trace-tool replay <in.pstr> [--low-power]
 //! ```
+//!
+//! Observability flags (any subcommand): `--trace-out <path.json>`
+//! records a Perfetto trace of the invocation; `--serve-metrics` exposes
+//! `/metrics` + `/healthz` + `/report` (address from `PSCA_METRICS_ADDR`,
+//! default `127.0.0.1:9185`).
 
 use psca_cpu::{ClusterSim, CpuConfig, Mode, RunSummary};
 use psca_trace::{file, TraceSource, TraceStats};
@@ -35,16 +40,32 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
 fn main() -> ExitCode {
     psca_obs::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(path) = arg_value(&args, "--trace-out") {
+        psca_obs::trace::enable(&path);
+    }
+    if args.iter().any(|a| a == "--serve-metrics") {
+        let addr = std::env::var("PSCA_METRICS_ADDR").unwrap_or_else(|_| "127.0.0.1:9185".into());
+        psca_obs::exporter::serve(&addr);
+    }
     let Some(cmd) = args.first() else {
         return usage();
     };
-    let _span = psca_obs::SpanTimer::start(&format!("trace_tool.{cmd}"));
-    match cmd.as_str() {
-        "record" => record(&args),
-        "stats" => stats(&args),
-        "replay" => replay(&args),
-        _ => usage(),
+    // Scope the top-level span so it drops (and lands in the trace)
+    // before the recorder is finalized below.
+    let code = {
+        let _span = psca_obs::SpanTimer::start(&format!("trace_tool.{cmd}"));
+        match cmd.as_str() {
+            "record" => record(&args),
+            "stats" => stats(&args),
+            "replay" => replay(&args),
+            _ => usage(),
+        }
+    };
+    if let Some(path) = psca_obs::trace::finish() {
+        eprintln!("[trace-tool] trace: {}", path.display());
     }
+    psca_obs::exporter::shutdown_global();
+    code
 }
 
 fn record(args: &[String]) -> ExitCode {

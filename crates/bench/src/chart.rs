@@ -38,9 +38,7 @@ pub fn bar_chart(
         .fold(f64::MIN_POSITIVE, f64::max);
     for (label, v) in rows {
         let n = ((v.abs() / max) * width as f64).round() as usize;
-        let bar: String = std::iter::repeat('#')
-            .take(n.max(usize::from(*v != 0.0)))
-            .collect();
+        let bar = "#".repeat(n.max(usize::from(*v != 0.0)));
         let sign = if *v < 0.0 { "-" } else { "" };
         let _ = writeln!(
             out,

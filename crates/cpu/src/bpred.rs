@@ -29,7 +29,7 @@ impl GsharePredictor {
     /// # Panics
     /// Panics if `bits` is 0 or greater than 24.
     pub fn new(bits: u32) -> GsharePredictor {
-        assert!(bits >= 1 && bits <= 24, "gshare bits out of range: {bits}");
+        assert!((1..=24).contains(&bits), "gshare bits out of range: {bits}");
         GsharePredictor {
             counters: vec![1; 1 << bits], // weakly not-taken
             history: 0,
@@ -78,7 +78,7 @@ impl Btb {
     /// # Panics
     /// Panics if `bits` is 0 or greater than 20.
     pub fn new(bits: u32) -> Btb {
-        assert!(bits >= 1 && bits <= 20, "BTB bits out of range: {bits}");
+        assert!((1..=20).contains(&bits), "BTB bits out of range: {bits}");
         Btb {
             entries: vec![(u64::MAX, 0); 1 << bits],
             bits,

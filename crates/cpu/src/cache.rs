@@ -52,7 +52,7 @@ impl Cache {
         assert!(ways > 0, "cache needs at least one way");
         let lines = capacity_bytes / 64;
         assert!(
-            lines >= ways && lines % ways == 0,
+            lines >= ways && lines.is_multiple_of(ways),
             "capacity {capacity_bytes} incompatible with {ways} ways"
         );
         let sets = lines / ways;

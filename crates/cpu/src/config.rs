@@ -169,16 +169,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "monotone")]
     fn validate_rejects_inverted_latencies() {
-        let mut c = CpuConfig::default();
-        c.l1d_latency = 100;
+        let c = CpuConfig {
+            l1d_latency: 100,
+            ..CpuConfig::default()
+        };
         c.validate();
     }
 
     #[test]
     #[should_panic(expected = "positive")]
     fn validate_rejects_zero_width() {
-        let mut c = CpuConfig::default();
-        c.cluster_width = 0;
+        let c = CpuConfig {
+            cluster_width: 0,
+            ..CpuConfig::default()
+        };
         c.validate();
     }
 }

@@ -280,6 +280,15 @@ impl ClusterSim {
                 ],
             );
         }
+        if psca_obs::trace::enabled() {
+            psca_obs::trace::instant(
+                "cpu.mode_switch",
+                &[
+                    ("from", self.mode.to_string().into()),
+                    ("to", mode.to_string().into()),
+                ],
+            );
+        }
         if mode == Mode::LowPower {
             let live_in_c2 = self
                 .reg_cluster
@@ -447,7 +456,7 @@ impl ClusterSim {
                     let i = src.index();
                     if self.reg_ready[i] > dispatch {
                         let cand = (self.reg_ready[i], self.reg_cluster[i] as usize);
-                        if best.map_or(true, |b| cand.0 > b.0) {
+                        if best.is_none_or(|b| cand.0 > b.0) {
                             best = Some(cand);
                         }
                     }
@@ -645,7 +654,7 @@ impl ClusterSim {
         self.inst_index += 1;
 
         // ---- occupancy sampling (every 8th instruction, weighted) ----
-        if self.inst_index % 8 == 0 {
+        if self.inst_index.is_multiple_of(8) {
             let rob_occ = count_pending(&self.rob_retire, self.inst_index, dispatch);
             self.bank.add(Event::RobOccupancy, rob_occ * 8);
             let lq_occ = count_pending(&self.lq_retire, self.lq_index, dispatch);
@@ -695,6 +704,16 @@ impl ClusterSim {
         psca_obs::counter("cpu.sim.intervals").inc();
         if self.mode == Mode::LowPower {
             psca_obs::counter("cpu.sim.cycles_low_power").add(cycles);
+        }
+        let interval_ipc = executed as f64 / cycles as f64;
+        psca_obs::series("cpu.sim.ipc").push(interval_ipc);
+        psca_obs::series("cpu.sim.low_power").push(if self.mode == Mode::LowPower {
+            1.0
+        } else {
+            0.0
+        });
+        if psca_obs::trace::enabled() {
+            psca_obs::trace::counter_event("cpu.sim.ipc", interval_ipc);
         }
         let width = self.active_width() as u64;
         let empty = (width * cycles).saturating_sub(self.uops_issued_in_interval);

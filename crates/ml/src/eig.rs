@@ -176,8 +176,8 @@ mod tests {
         for i in 0..3 {
             for j in 0..3 {
                 let mut s = 0.0;
-                for e in 0..3 {
-                    s += vals[e] * vecs.get(e, i) * vecs.get(e, j);
+                for (e, &val) in vals.iter().enumerate() {
+                    s += val * vecs.get(e, i) * vecs.get(e, j);
                 }
                 recon.set(i, j, s);
             }

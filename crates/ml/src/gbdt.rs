@@ -93,7 +93,7 @@ impl RegressionTree {
                 let sse =
                     (left_sq - left_sum * left_sum / nl) + (right_sq - right_sum * right_sum / nr);
                 let gain = parent_sse - sse;
-                if gain > 1e-12 && best.map_or(true, |(g, _, _)| gain > g) {
+                if gain > 1e-12 && best.is_none_or(|(g, _, _)| gain > g) {
                     best = Some((gain, f, 0.5 * (sorted[w].0 + sorted[w + 1].0)));
                 }
             }
@@ -217,8 +217,8 @@ impl Gbdt {
                 cfg.max_depth,
                 cfg.min_leaf,
             );
-            for i in 0..n {
-                logits[i] += cfg.learning_rate * tree.value(data.features().row(i));
+            for (i, logit) in logits.iter_mut().enumerate() {
+                *logit += cfg.learning_rate * tree.value(data.features().row(i));
             }
             trees.push(tree);
         }

@@ -85,10 +85,10 @@ pub fn kmeans(data: &Matrix, k: usize, max_iters: usize, seed: u64) -> KMeans {
             chosen
         };
         centroids.row_mut(c).copy_from_slice(data.row(pick));
-        for r in 0..data.rows() {
+        for (r, slot) in min_d2.iter_mut().enumerate() {
             let nd = dist2(data.row(r), centroids.row(c));
-            if nd < min_d2[r] {
-                min_d2[r] = nd;
+            if nd < *slot {
+                *slot = nd;
             }
         }
     }
@@ -97,7 +97,7 @@ pub fn kmeans(data: &Matrix, k: usize, max_iters: usize, seed: u64) -> KMeans {
     let mut assignment = vec![0usize; data.rows()];
     for _ in 0..max_iters {
         let mut changed = false;
-        for r in 0..data.rows() {
+        for (r, slot) in assignment.iter_mut().enumerate() {
             let mut best = (f64::INFINITY, 0usize);
             for c in 0..k {
                 let dd = dist2(data.row(r), centroids.row(c));
@@ -105,8 +105,8 @@ pub fn kmeans(data: &Matrix, k: usize, max_iters: usize, seed: u64) -> KMeans {
                     best = (dd, c);
                 }
             }
-            if assignment[r] != best.1 {
-                assignment[r] = best.1;
+            if *slot != best.1 {
+                *slot = best.1;
                 changed = true;
             }
         }
@@ -115,16 +115,15 @@ pub fn kmeans(data: &Matrix, k: usize, max_iters: usize, seed: u64) -> KMeans {
         }
         let mut sums = Matrix::zeros(k, d);
         let mut counts = vec![0usize; k];
-        for r in 0..data.rows() {
-            let c = assignment[r];
+        for (r, &c) in assignment.iter().enumerate() {
             counts[c] += 1;
             let row = data.row(r);
             for (s, &v) in sums.row_mut(c).iter_mut().zip(row) {
                 *s += v;
             }
         }
-        for c in 0..k {
-            if counts[c] == 0 {
+        for (c, &count) in counts.iter().enumerate() {
+            if count == 0 {
                 // Re-seed an empty cluster at the farthest point.
                 let far = (0..data.rows())
                     .max_by(|&a, &b| {
@@ -136,7 +135,7 @@ pub fn kmeans(data: &Matrix, k: usize, max_iters: usize, seed: u64) -> KMeans {
                 centroids.row_mut(c).copy_from_slice(data.row(far));
             } else {
                 for (cv, &s) in centroids.row_mut(c).iter_mut().zip(sums.row(c)) {
-                    *cv = s / counts[c] as f64;
+                    *cv = s / count as f64;
                 }
             }
         }

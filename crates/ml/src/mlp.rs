@@ -300,7 +300,7 @@ impl Mlp {
         let bc2 = 1.0 - b2.powf(t);
         let scale = 1.0 / idx.len() as f64;
         for (li, layer) in self.layers.iter_mut().enumerate() {
-            for r in 0..layer.w.rows() {
+            for (r, &gb) in grads_b[li].iter().enumerate() {
                 for c in 0..layer.w.cols() {
                     let g = grads_w[li].get(r, c) * scale + cfg.weight_decay * layer.w.get(r, c);
                     let m = b1 * layer.mw.get(r, c) + (1.0 - b1) * g;
@@ -310,7 +310,7 @@ impl Mlp {
                     let step = cfg.learning_rate * (m / bc1) / ((v / bc2).sqrt() + eps);
                     layer.w.set(r, c, layer.w.get(r, c) - step);
                 }
-                let g = grads_b[li][r] * scale;
+                let g = gb * scale;
                 let m = b1 * layer.mb[r] + (1.0 - b1) * g;
                 let v = b2 * layer.vb[r] + (1.0 - b2) * g * g;
                 layer.mb[r] = m;

@@ -42,10 +42,10 @@ pub fn low_activity_screen(traces: &[&Matrix], zero_frac: f64, flag_frac: f64) -
     let mut flags = vec![0usize; cols];
     for m in traces {
         assert_eq!(m.cols(), cols, "stream count mismatch");
-        for c in 0..cols {
+        for (c, flag) in flags.iter_mut().enumerate() {
             let zeros = (0..m.rows()).filter(|&r| m.get(r, c) == 0.0).count();
             if zeros as f64 > zero_frac * m.rows() as f64 {
-                flags[c] += 1;
+                *flag += 1;
             }
         }
     }

@@ -246,7 +246,7 @@ fn best_split(
             let h = (left_n / n) * entropy(left_pos / left_n)
                 + (right_n / n) * entropy(right_pos / right_n);
             let gain = parent - h;
-            if gain > 1e-12 && best.map_or(true, |(g, _, _)| gain > g) {
+            if gain > 1e-12 && best.is_none_or(|(g, _, _)| gain > g) {
                 let threshold = 0.5 * (sorted[w].0 + sorted[w + 1].0);
                 best = Some((gain, f, threshold));
             }

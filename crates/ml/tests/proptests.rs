@@ -96,8 +96,8 @@ proptest! {
         let via_vec = m.matvec(&v);
         let vm = Matrix::from_vec(cols, 1, v);
         let via_mat = m.matmul(&vm);
-        for r in 0..rows {
-            prop_assert!((via_vec[r] - via_mat.get(r, 0)).abs() < 1e-9);
+        for (r, &vv) in via_vec.iter().enumerate() {
+            prop_assert!((vv - via_mat.get(r, 0)).abs() < 1e-9);
         }
     }
 }

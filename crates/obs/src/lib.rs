@@ -1,6 +1,6 @@
 //! `psca-obs`: observability for the post-silicon adaptation pipeline.
 //!
-//! Three layers, all dependency-free:
+//! Six layers, all dependency-free:
 //!
 //! 1. **Metrics** ([`metrics`]) — atomic [`Counter`]s, [`Gauge`]s, and
 //!    log-linear [`Histogram`]s behind a process-global [`Registry`].
@@ -10,33 +10,49 @@
 //!    installed sinks, level-filtered via the `PSCA_LOG` environment
 //!    variable. With no sink installed, [`emit`] is two relaxed atomic
 //!    loads.
-//! 3. **Reports** ([`report`]) — a [`RunReport`] aggregates per-phase
+//! 3. **Time-series** ([`timeseries`]) — fixed-capacity, auto-downsampling
+//!    [`TimeSeries`] samplers on the registry for per-window signals (IPC,
+//!    low-power residency, predictor accuracy), surfaced in reports and
+//!    CSV artifacts.
+//! 4. **Traces** ([`trace`]) — Chrome trace-event recording, opt-in via
+//!    `PSCA_TRACE=<path.json>`, loadable in Perfetto; spans, instants, and
+//!    counter tracks.
+//! 5. **Exporter** ([`exporter`]) — a std-only HTTP server (opt-in via
+//!    `PSCA_METRICS_ADDR=<host:port>`) exposing `/metrics` (Prometheus
+//!    text format), `/healthz`, and `/report`.
+//! 6. **Reports** ([`report`]) — a [`RunReport`] aggregates per-phase
 //!    wall time, headline summary values, and a metrics snapshot into
 //!    `target/obs/<run>.json` plus a rendered table.
 //!
-//! [`SpanTimer`] ([`span`]) bridges layers 1 and 2: an RAII timer that
-//! records wall time into `span.<path>` histograms and emits trace-level
-//! enter/exit events.
+//! [`SpanTimer`] ([`span`]) bridges metrics, events, and traces: an RAII
+//! timer that records wall time into `span.<path>` histograms, emits
+//! trace-level enter/exit events, and (when tracing) a Perfetto duration
+//! bar.
 //!
-//! Naming conventions and the `PSCA_LOG` contract are documented in
-//! `docs/OBSERVABILITY.md`.
+//! Naming conventions and the `PSCA_LOG` / `PSCA_TRACE` /
+//! `PSCA_METRICS_ADDR` contracts are documented in `docs/OBSERVABILITY.md`.
 
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod exporter;
 pub mod json;
 pub mod metrics;
 pub mod report;
 pub mod span;
+pub mod timeseries;
+pub mod trace;
 
 pub use event::{
     clear_sinks, emit, enabled, flush, install_sink, set_level, ConsoleSink, EventRecord,
     EventSink, FieldValue, JsonlSink, Level,
 };
+pub use exporter::MetricsServer;
 pub use json::Json;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, MetricsSnapshot, Registry};
 pub use report::{PhaseStat, RunReport, SummaryValue};
 pub use span::SpanTimer;
+pub use timeseries::TimeSeries;
 
 use std::sync::Arc;
 
@@ -55,6 +71,11 @@ pub fn histogram(name: &str) -> Arc<Histogram> {
     metrics::global().histogram(name)
 }
 
+/// The global time-series sampler named `name` (created on first use).
+pub fn series(name: &str) -> Arc<TimeSeries> {
+    metrics::global().series(name)
+}
+
 /// Snapshot of every global metric.
 pub fn snapshot() -> MetricsSnapshot {
     metrics::global().snapshot()
@@ -65,12 +86,21 @@ pub fn reset_metrics() {
     metrics::global().reset();
 }
 
+/// Resets every global metric *and* time-series (per-experiment scoping).
+pub fn reset_all() {
+    metrics::global().reset_all();
+}
+
 /// Standard sink bootstrap for binaries:
 ///
 /// - `PSCA_LOG=<level>` installs a [`ConsoleSink`] on stderr filtered at
 ///   that level (no variable → no sink, near-zero cost);
 /// - `PSCA_OBS_JSONL=<path>` additionally streams every delivered event
-///   to a JSONL file.
+///   to a JSONL file;
+/// - `PSCA_TRACE=<path.json>` starts the Chrome trace-event recorder
+///   ([`trace`]);
+/// - `PSCA_METRICS_ADDR=<host:port>` starts the live HTTP metrics
+///   exporter ([`exporter`]).
 ///
 /// Returns `true` if any sink was installed.
 pub fn init_from_env() -> bool {
@@ -91,6 +121,8 @@ pub fn init_from_env() -> bool {
             Err(e) => eprintln!("psca-obs: cannot open PSCA_OBS_JSONL={path}: {e}"),
         }
     }
+    trace::enable_from_env();
+    exporter::serve_from_env();
     installed
 }
 

@@ -8,6 +8,7 @@
 //! look a handle up once (or once per interval) and then operate on the
 //! returned `Arc`.
 
+use crate::timeseries::TimeSeries;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -250,6 +251,7 @@ pub struct Registry {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    series: Mutex<BTreeMap<String, Arc<TimeSeries>>>,
 }
 
 impl Registry {
@@ -277,6 +279,15 @@ impl Registry {
             .clone()
     }
 
+    /// The time-series sampler named `name`, created on first use with
+    /// the default capacity.
+    pub fn series(&self, name: &str) -> Arc<TimeSeries> {
+        let mut map = self.series.lock().unwrap();
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(TimeSeries::default()))
+            .clone()
+    }
+
     /// Snapshot of every metric's current value.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -301,6 +312,14 @@ impl Registry {
                 .iter()
                 .map(|(k, v)| (k.clone(), v.summary()))
                 .collect(),
+            series: self
+                .series
+                .lock()
+                .unwrap()
+                .iter()
+                .filter(|(_, s)| !s.is_empty())
+                .map(|(k, s)| (k.clone(), s.snapshot()))
+                .collect(),
         }
     }
 
@@ -316,6 +335,16 @@ impl Registry {
             h.reset();
         }
     }
+
+    /// Resets every metric *and* every time-series sampler. Call between
+    /// experiments so one figure/table run's metrics don't bleed into the
+    /// next run's report snapshot.
+    pub fn reset_all(&self) {
+        self.reset();
+        for s in self.series.lock().unwrap().values() {
+            s.reset();
+        }
+    }
 }
 
 /// Point-in-time copy of every registered metric.
@@ -327,6 +356,49 @@ pub struct MetricsSnapshot {
     pub gauges: BTreeMap<String, f64>,
     /// Histogram summaries by name.
     pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Time-series points by name (non-empty series only).
+    pub series: BTreeMap<String, Vec<(u64, f64)>>,
+}
+
+impl MetricsSnapshot {
+    /// Folds another snapshot into this one: counters add, gauges take the
+    /// other's value, series concatenate, and histogram summaries combine
+    /// (counts and sums add; min/max widen; quantiles take the pairwise
+    /// maximum, a conservative upper bound since exact merging would need
+    /// the raw buckets). Used by `repro` to keep a whole-run view while
+    /// experiments reset the registry between figures.
+    pub fn absorb(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            match self.histograms.get_mut(k) {
+                Some(mine) if mine.count > 0 && h.count > 0 => {
+                    mine.count += h.count;
+                    mine.sum += h.sum;
+                    mine.min = mine.min.min(h.min);
+                    mine.max = mine.max.max(h.max);
+                    mine.p50 = mine.p50.max(h.p50);
+                    mine.p95 = mine.p95.max(h.p95);
+                    mine.p99 = mine.p99.max(h.p99);
+                }
+                Some(mine) if mine.count == 0 => *mine = *h,
+                Some(_) => {}
+                None => {
+                    self.histograms.insert(k.clone(), *h);
+                }
+            }
+        }
+        for (k, pts) in &other.series {
+            self.series
+                .entry(k.clone())
+                .or_default()
+                .extend(pts.iter().copied());
+        }
+    }
 }
 
 static GLOBAL: OnceLock<Registry> = OnceLock::new();
@@ -369,5 +441,36 @@ mod tests {
         let b = r.counter("x");
         a.add(3);
         assert_eq!(b.get(), 3);
+    }
+
+    #[test]
+    fn reset_all_clears_metrics_and_series() {
+        let r = Registry::default();
+        r.counter("c").add(5);
+        r.gauge("g").set(1.5);
+        r.histogram("h").record(7);
+        r.series("s").push(2.0);
+        r.reset_all();
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["c"], 0);
+        assert_eq!(snap.gauges["g"], 0.0);
+        assert_eq!(snap.histograms["h"].count, 0);
+        assert!(snap.series.is_empty(), "empty series are omitted");
+    }
+
+    #[test]
+    fn absorb_adds_counters_and_concatenates_series() {
+        let r = Registry::default();
+        r.counter("c").add(2);
+        r.series("s").push(1.0);
+        let mut acc = r.snapshot();
+        r.reset_all();
+        r.counter("c").add(3);
+        r.series("s").push(2.0);
+        acc.absorb(&r.snapshot());
+        assert_eq!(acc.counters["c"], 5);
+        let pts = &acc.series["s"];
+        assert_eq!(pts.iter().map(|p| p.1).collect::<Vec<_>>(), [1.0, 2.0]);
+        assert!(pts[0].0 <= pts[1].0, "concatenation stays monotone");
     }
 }

@@ -3,13 +3,18 @@
 //! A [`RunReport`] gathers per-phase wall times (recorded with
 //! [`RunReport::phase`]), headline summary values (instructions/sec,
 //! low-power residency, guardrail trips, ...), and a full snapshot of the
-//! global metric registry. [`RunReport::write`] serializes it to
-//! `target/obs/<run>.json` (or any directory) and [`RunReport::render`]
-//! produces the human-readable table the `repro` binary prints.
+//! global metric registry — including every non-empty time-series
+//! sampler, serialized under `"timeseries"` as `[x, y]` pairs and
+//! additionally written as a `<run>.series.csv` artifact next to the
+//! JSON. [`RunReport::write`] serializes to `target/obs/<run>.json` (or
+//! any directory), publishes the JSON to the live `/report` endpoint when
+//! the exporter is running, and [`RunReport::render`] produces the
+//! human-readable table the `repro` binary prints.
 
 use crate::json::Json;
 use crate::metrics::{self, MetricsSnapshot};
 use crate::span::SpanTimer;
+use crate::{exporter, timeseries};
 use std::path::{Path, PathBuf};
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
@@ -227,12 +232,28 @@ impl RunReport {
                 })
                 .collect(),
         );
+        let series = Json::Obj(
+            snap.series
+                .iter()
+                .map(|(k, pts)| {
+                    (
+                        k.clone(),
+                        Json::Arr(
+                            pts.iter()
+                                .map(|(x, y)| Json::Arr(vec![Json::UInt(*x), Json::Num(*y)]))
+                                .collect(),
+                        ),
+                    )
+                })
+                .collect(),
+        );
         Json::obj(vec![
             ("run_id", Json::Str(self.run_id.clone())),
             ("started_unix", Json::UInt(self.started_unix)),
             ("total_wall_s", Json::Num(self.total_wall_s())),
             ("phases", phases),
             ("summary", summary),
+            ("timeseries", series),
             (
                 "metrics",
                 Json::obj(vec![
@@ -244,14 +265,33 @@ impl RunReport {
         ])
     }
 
-    /// Writes `<dir>/<run_id>.json`; returns the path.
+    /// Writes `<dir>/<run_id>.json` (plus `<run_id>.series.csv` when any
+    /// time-series was recorded) from a fresh global snapshot; returns the
+    /// JSON path.
     ///
     /// # Errors
     /// Propagates filesystem errors (unwritable directory, ...).
     pub fn write(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        self.write_with(dir, &metrics::global().snapshot())
+    }
+
+    /// [`RunReport::write`] with an explicit metrics snapshot. Also
+    /// publishes the JSON to the `/report` endpoint of a running
+    /// [`crate::exporter`] server.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn write_with(&self, dir: &Path, snap: &MetricsSnapshot) -> std::io::Result<PathBuf> {
         std::fs::create_dir_all(dir)?;
-        let path = dir.join(format!("{}.json", sanitize(&self.run_id)));
-        std::fs::write(&path, self.to_json().to_string())?;
+        let stem = sanitize(&self.run_id);
+        let path = dir.join(format!("{stem}.json"));
+        let json = self.to_json_with(snap).to_string();
+        std::fs::write(&path, &json)?;
+        exporter::publish_report(&json);
+        if !snap.series.is_empty() {
+            let csv_path = dir.join(format!("{stem}.series.csv"));
+            std::fs::write(&csv_path, timeseries::series_to_csv(&snap.series))?;
+        }
         Ok(path)
     }
 

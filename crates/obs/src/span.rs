@@ -6,10 +6,12 @@
 //! spans on the current thread — so nested spans produce distinct
 //! histograms (`span.repro.fig8` inside `span.repro`). Entering and
 //! leaving a span also emits `span.enter`/`span.exit` events at
-//! [`Level::Trace`].
+//! [`Level::Trace`], and — when `PSCA_TRACE` recording is active
+//! ([`crate::trace`]) — a Chrome trace-event *complete* record, so spans
+//! render as nested duration bars in Perfetto.
 
 use crate::event::{emit, FieldValue, Level};
-use crate::metrics;
+use crate::{metrics, trace};
 use std::cell::RefCell;
 use std::time::Instant;
 
@@ -23,6 +25,9 @@ pub struct SpanTimer {
     path: String,
     start: Instant,
     depth_on_entry: usize,
+    /// Trace-relative start in µs; `u64::MAX` when recording was off at
+    /// span entry (avoids locking the recorder on drop).
+    trace_ts_us: u64,
 }
 
 impl SpanTimer {
@@ -48,6 +53,11 @@ impl SpanTimer {
             path,
             start: Instant::now(),
             depth_on_entry: depth,
+            trace_ts_us: if trace::enabled() {
+                trace::now_us()
+            } else {
+                u64::MAX
+            },
         }
     }
 
@@ -68,6 +78,9 @@ impl Drop for SpanTimer {
         metrics::global()
             .histogram(&format!("span.{}", self.path))
             .record(ns);
+        if self.trace_ts_us != u64::MAX && trace::enabled() {
+            trace::complete(&self.path, self.trace_ts_us, ns / 1_000);
+        }
         emit(
             Level::Trace,
             "span.exit",

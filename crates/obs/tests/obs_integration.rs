@@ -3,8 +3,10 @@
 
 use psca_obs::{
     clear_sinks, emit, install_sink, set_level, FieldValue, Histogram, JsonlSink, Level,
+    MetricsServer, TimeSeries,
 };
-use std::io::Write;
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::sync::{Arc, Mutex};
 
 /// `Write` adapter that mirrors everything into a shared buffer so the
@@ -118,4 +120,168 @@ fn jsonl_sink_golden_file() {
 {\"level\":\"info\",\"event\":\"train.round\",\"fields\":{\"model\":\"best-rf\",\"wall_ms\":12}}
 ";
     assert_eq!(written, golden);
+}
+
+#[test]
+fn prometheus_exposition_parses_line_by_line() {
+    use psca_obs::{HistogramSummary, MetricsSnapshot};
+    let mut snap = MetricsSnapshot::default();
+    snap.counters.insert("it.promparse.count".into(), 42);
+    snap.gauges.insert("it.promparse.level".into(), -0.25);
+    snap.histograms.insert(
+        "it.promparse.lat_ns".into(),
+        HistogramSummary {
+            count: 3,
+            sum: 60,
+            min: 10,
+            max: 30,
+            p50: 20,
+            p95: 30,
+            p99: 30,
+        },
+    );
+    snap.series
+        .insert("it.promparse.ipc".into(), vec![(0, 1.0), (1, 2.0)]);
+    let text = psca_obs::exporter::prometheus_text(&snap);
+    assert!(!text.is_empty());
+    let name_ok = |n: &str| {
+        !n.is_empty()
+            && !n.starts_with(|c: char| c.is_ascii_digit())
+            && n.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    };
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().expect("TYPE line has a metric name");
+            let kind = parts.next().expect("TYPE line has a kind");
+            assert!(name_ok(name), "bad metric name in {line:?}");
+            assert!(
+                ["counter", "gauge", "summary"].contains(&kind),
+                "bad kind in {line:?}"
+            );
+            assert_eq!(parts.next(), None, "trailing tokens in {line:?}");
+        } else {
+            // Sample line: `name[{labels}] value`.
+            let (name_part, value) = line.rsplit_once(' ').expect("sample has name and value");
+            let bare = name_part.split('{').next().unwrap();
+            assert!(name_ok(bare), "bad sample name in {line:?}");
+            if let Some(labels) = name_part.strip_prefix(bare) {
+                if !labels.is_empty() {
+                    assert!(
+                        labels.starts_with('{') && labels.ends_with('}'),
+                        "malformed labels in {line:?}"
+                    );
+                }
+            }
+            assert!(
+                value.parse::<f64>().is_ok() || ["NaN", "+Inf", "-Inf"].contains(&value),
+                "unparseable value in {line:?}"
+            );
+        }
+    }
+    // All four metric kinds must appear, with dots mapped to underscores.
+    assert!(text.contains("it_promparse_count 42"));
+    assert!(text.contains("it_promparse_level -0.25"));
+    assert!(text.contains("it_promparse_lat_ns{quantile=\"0.5\"} 20"));
+    assert!(text.contains("it_promparse_ipc_last 2"));
+}
+
+#[test]
+fn trace_file_round_trips_as_valid_trace_event_json() {
+    let path = std::env::temp_dir().join(format!("psca_obs_it_trace_{}.json", std::process::id()));
+    assert!(psca_obs::trace::enable(&path), "recorder already active");
+    {
+        let _outer = psca_obs::SpanTimer::start("it_trace_outer");
+        let _inner = psca_obs::SpanTimer::start("it_trace_inner");
+        psca_obs::trace::instant(
+            "it.trace.event",
+            &[
+                ("k", FieldValue::U64(1)),
+                ("tag", FieldValue::Str("x".into())),
+            ],
+        );
+        psca_obs::trace::counter_event("it.trace.ipc", 2.5);
+    }
+    let written = psca_obs::trace::finish().expect("finish returns the path");
+    assert_eq!(written, path);
+    let text = std::fs::read_to_string(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    let parsed = psca_obs::Json::parse(&text).expect("trace file is valid JSON");
+    let events = parsed.as_arr().expect("trace file is a JSON array");
+    assert!(
+        events.len() >= 4,
+        "expected >= 4 events, got {}",
+        events.len()
+    );
+    let mut phases = std::collections::BTreeSet::new();
+    for ev in events {
+        assert!(ev.get("name").and_then(|n| n.as_str()).is_some());
+        let ph = ev.get("ph").and_then(|p| p.as_str()).expect("ph present");
+        phases.insert(ph.to_string());
+        assert!(ev.get("pid").and_then(|p| p.as_u64()).is_some());
+        if ph == "X" {
+            assert!(ev.get("ts").and_then(|t| t.as_u64()).is_some());
+            assert!(ev.get("dur").and_then(|d| d.as_u64()).unwrap() >= 1);
+        }
+    }
+    for expected in ["X", "i", "C", "M"] {
+        assert!(phases.contains(expected), "missing phase {expected:?}");
+    }
+    // Spans must appear under their dot-joined paths.
+    assert!(text.contains("it_trace_outer.it_trace_inner"));
+}
+
+#[test]
+fn ring_buffer_downsampling_keeps_endpoints_and_monotone_x() {
+    let ts = TimeSeries::with_capacity(64);
+    const N: u64 = 5_000;
+    for i in 0..N {
+        ts.push(i as f64);
+    }
+    let pts = ts.snapshot();
+    assert!(pts.len() <= 65, "capacity overrun: {}", pts.len());
+    assert_eq!(pts.first().copied(), Some((0, 0.0)), "first sample dropped");
+    assert_eq!(
+        pts.last().copied(),
+        Some((N - 1, (N - 1) as f64)),
+        "live last sample missing"
+    );
+    for w in pts.windows(2) {
+        assert!(
+            w[0].0 < w[1].0,
+            "non-monotone x: {:?} then {:?}",
+            w[0],
+            w[1]
+        );
+    }
+}
+
+#[test]
+fn metrics_server_serves_healthz_and_metrics_over_a_real_socket() {
+    psca_obs::counter("it.exporter.requests").add(5);
+    let server = MetricsServer::start("127.0.0.1:0").expect("bind an ephemeral port");
+    let addr = server.local_addr();
+
+    let get = |path: &str| -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect to exporter");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    };
+
+    let health = get("/healthz");
+    assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
+    assert!(health.ends_with("ok\n"), "{health}");
+
+    let metrics = get("/metrics");
+    assert!(metrics.starts_with("HTTP/1.1 200 OK"), "{metrics}");
+    assert!(metrics.contains("text/plain; version=0.0.4"), "{metrics}");
+    assert!(metrics.contains("it_exporter_requests"), "{metrics}");
+
+    let missing = get("/nope");
+    assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+    server.shutdown();
 }

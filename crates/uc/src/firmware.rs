@@ -264,8 +264,8 @@ mod tests {
     fn forest_cost_is_input_independent() {
         let data = dataset(300, 12, 6);
         let rf = FirmwareModel::Forest(RandomForest::fit(&RandomForestConfig::best_rf(), &data, 2));
-        let (_, a) = rf.predict_counted(&vec![0.0; 12]);
-        let (_, b) = rf.predict_counted(&vec![1.0; 12]);
+        let (_, a) = rf.predict_counted(&[0.0; 12]);
+        let (_, b) = rf.predict_counted(&[1.0; 12]);
         assert_eq!(a.total(), b.total(), "padded trees must cost the same");
     }
 

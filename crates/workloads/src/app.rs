@@ -73,7 +73,7 @@ impl ApplicationModel {
             "an application needs at least one phase"
         );
         let n = phases.len();
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xF1E1_D5);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x00F1_E1D5);
         let transition = random_stochastic_matrix(&mut rng, n);
         ApplicationModel {
             name: name.into(),

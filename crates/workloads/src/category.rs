@@ -64,7 +64,7 @@ impl Category {
     /// benchmarks fall into an expert-counter blindspot (§7.1).
     pub fn archetype_weights(self) -> [(Archetype, f64); 12] {
         use Archetype::*;
-        let w = match self {
+        match self {
             Category::HpcPerf => [
                 (ScalarIlp, 1.5),
                 (DepChain, 1.0),
@@ -149,8 +149,7 @@ impl Category {
                 (SimdKernel, 1.5),
                 (Balanced, 1.0),
             ],
-        };
-        w
+        }
     }
 }
 

@@ -114,7 +114,7 @@ impl PhaseGenerator {
     /// Advances the PC: walk the code footprint sequentially, wrapping.
     fn advance_pc(&mut self) {
         self.code_slot += 1;
-        if self.code_slot % 16 == 0 {
+        if self.code_slot.is_multiple_of(16) {
             self.code_line = (self.code_line + 1) % self.params.code_lines;
         }
     }

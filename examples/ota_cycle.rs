@@ -25,7 +25,7 @@ fn main() {
         .iter()
         .find(|a| a.bench.name == "649.fotonik3d_s")
         .expect("benchmark present");
-    let mut trace_of = |input: u64| {
+    let trace_of = |input: u64| {
         let mut src = app.app.trace(input);
         collect_paired(
             &mut src,
