@@ -7,12 +7,17 @@
 //! applied. The CPU starts in high-performance mode and uses the
 //! predictor matching whichever mode the telemetry was recorded in.
 
+use crate::degrade::{DegradeConfig, DegradeLevel, DegradeSummary, PredictionHealth, Watchdog};
+use crate::guardrail::{Guardrail, GuardrailConfig};
+use crate::sla::Sla;
 use crate::train::{TrainedAdaptModel, HORIZON};
-use psca_cpu::{ClusterSim, CpuConfig, Mode};
+use psca_cpu::{ClusterSim, CpuConfig, Mode, ModeSwitchFault};
+use psca_faults::{ActuationFault, FaultCounts, FaultInjector, PredictionFault};
 use psca_trace::{TraceSource, VecTrace};
+use psca_uc::image;
 
 /// Outcome of one closed-loop run over a trace.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClosedLoopResult {
     /// Per-prediction-window gating decision, indexed by the window it
     /// *applies to* (`None` for the first [`HORIZON`] windows).
@@ -30,9 +35,15 @@ pub struct ClosedLoopResult {
 }
 
 impl ClosedLoopResult {
-    /// Performance per watt: instructions per unit energy.
+    /// Performance per watt: instructions per unit energy. A run that
+    /// recorded no (or non-finite) energy has no meaningful efficiency
+    /// and reports 0.0 rather than the near-infinite ratio a division by
+    /// `f64::MIN_POSITIVE` would produce.
     pub fn ppw(&self) -> f64 {
-        self.instructions as f64 / self.energy.max(f64::MIN_POSITIVE)
+        if !self.energy.is_finite() || self.energy <= 0.0 {
+            return 0.0;
+        }
+        self.instructions as f64 / self.energy
     }
 
     /// Aligned `(truth, prediction)` label vectors for windows that had a
@@ -160,6 +171,235 @@ pub fn run_closed_loop(
     }
 }
 
+/// Outcome of one hardened closed-loop run: the usual accounting plus
+/// degradation and fault bookkeeping.
+#[derive(Debug, Clone)]
+pub struct HardenedLoopResult {
+    /// The closed-loop accounting (bit-identical to [`run_closed_loop`]
+    /// when the injector is disabled).
+    pub result: ClosedLoopResult,
+    /// Degradation-ladder residency and transitions.
+    pub degrade: DegradeSummary,
+    /// Faults actually injected, by class.
+    pub faults: FaultCounts,
+    /// Corrupted firmware images caught by the image checksum/validator.
+    pub images_rejected: u64,
+    /// Measured IPC of each completed prediction window.
+    pub window_ipc: Vec<f64>,
+}
+
+/// [`run_closed_loop`] with fault injection and the graceful-degradation
+/// ladder of [`crate::degrade`].
+///
+/// Each window the injector may perturb telemetry rows, drop/delay/corrupt
+/// the scheduled prediction, flip bits in the firmware image, or lose the
+/// mode-switch request. A [`Watchdog`] classifies every scheduled
+/// prediction's [`PredictionHealth`] and walks the ladder; per tier the
+/// window is gated by the model, the last known-good decision, the §3.1
+/// guardrail heuristic, or pinned high-performance.
+///
+/// With a disabled injector the healthy path performs exactly the same
+/// simulator calls as [`run_closed_loop`], so the result is bit-identical
+/// (a regression test enforces this).
+pub fn run_closed_loop_hardened(
+    model: &TrainedAdaptModel,
+    warm: &VecTrace,
+    window: &VecTrace,
+    interval_insts: u64,
+    injector: &mut FaultInjector,
+    degrade_cfg: DegradeConfig,
+) -> HardenedLoopResult {
+    let _span = psca_obs::SpanTimer::start("adapt.closed_loop.hardened");
+    let g = model.granularity;
+    let mut sim = ClusterSim::new(CpuConfig::skylake_scaled());
+    let mut warm_replay = warm.clone();
+    sim.warm_up(&mut warm_replay, warm.len() as u64);
+    let mut replay = window.clone();
+
+    let mut predictions: Vec<Option<u8>> = Vec::new();
+    let mut modes = Vec::new();
+    // Scheduled decision per window, tagged with the health it arrived in.
+    let mut pending: Vec<Option<(bool, PredictionHealth)>> = Vec::new();
+    let mut energy = 0.0;
+    let mut cycles = 0u64;
+    let mut instructions = 0u64;
+    let mut low_windows = 0usize;
+    let mut watchdog = Watchdog::new(degrade_cfg);
+    let mut heuristic = Guardrail::new(GuardrailConfig::default(), Sla::paper_default());
+    let mut heuristic_gate = false;
+    let mut last_good_gate = false;
+    let mut window_ipc = Vec::new();
+    let mut images_rejected = 0u64;
+
+    let mut widx = 0usize;
+    'outer: loop {
+        injector.begin_window();
+        sim.apply_delayed_mode();
+        // Classify this window's scheduled decision and pick the gate the
+        // current ladder tier dictates. The first HORIZON windows carry no
+        // prediction by design and are not watchdog material.
+        let scheduled = pending.get(widx).copied().flatten();
+        let desired_gate: Option<bool> = if widx < HORIZON {
+            None
+        } else {
+            let health = match scheduled {
+                Some((_, h)) => h,
+                None => PredictionHealth::Missing,
+            };
+            let level = watchdog.observe(health);
+            if level == DegradeLevel::ModelDriven {
+                if let Some((gate, PredictionHealth::Ok)) = scheduled {
+                    last_good_gate = gate;
+                }
+            }
+            match level {
+                DegradeLevel::ModelDriven => scheduled.map(|(gate, _)| gate),
+                DegradeLevel::HoldLast => Some(last_good_gate),
+                DegradeLevel::HeuristicOnly => Some(heuristic_gate),
+                DegradeLevel::PinnedHighPerf => Some(false),
+            }
+        };
+        if let Some(gate) = desired_gate {
+            let desired = if gate { Mode::LowPower } else { Mode::HighPerf };
+            let fault = match injector.actuation_fault() {
+                None => ModeSwitchFault::None,
+                Some(ActuationFault::Lost) => ModeSwitchFault::Lost,
+                Some(ActuationFault::DelayedOneWindow) => ModeSwitchFault::DelayedOneWindow,
+            };
+            sim.request_mode(desired, fault);
+        }
+        let window_mode = sim.mode();
+        // Run the window's base intervals, collecting telemetry rows.
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(g);
+        let mut row_cycles: Vec<u64> = Vec::with_capacity(g);
+        let mut w_cycles = 0u64;
+        let mut w_insts = 0u64;
+        for _ in 0..g {
+            let Some(r) = sim.run_interval(&mut replay, interval_insts) else {
+                break 'outer;
+            };
+            energy += r.energy;
+            cycles += r.snapshot.cycles;
+            instructions += r.instructions;
+            w_cycles += r.snapshot.cycles;
+            w_insts += r.instructions;
+            rows.push(r.snapshot.as_slice().to_vec());
+            row_cycles.push(r.snapshot.cycles);
+        }
+        if rows.len() < g {
+            break;
+        }
+        modes.push(window_mode);
+        psca_obs::counter("adapt.windows").inc();
+        if window_mode == Mode::LowPower {
+            low_windows += 1;
+            psca_obs::counter("adapt.windows_gated_low").inc();
+        }
+        psca_obs::series("adapt.window.gated").push(if window_mode == Mode::LowPower {
+            1.0
+        } else {
+            0.0
+        });
+        let ipc = w_insts as f64 / w_cycles.max(1) as f64;
+        window_ipc.push(ipc);
+        // Telemetry counter faults strike between the counters and the µC.
+        injector.perturb_telemetry(&mut rows);
+        // Firmware inference, with health classification instead of
+        // panics: non-finite features and firmware errors both mean the
+        // prediction cannot be trusted.
+        let (feat, fw) = model.mode_parts(window_mode);
+        let features = feat.featurize(&rows, &row_cycles);
+        let (gate, mut health) = if features.iter().any(|v| !v.is_finite()) {
+            psca_obs::counter("adapt.features.non_finite").inc();
+            (false, PredictionHealth::NonFinite)
+        } else {
+            match fw.predict(&features) {
+                Ok(gate) => (gate, PredictionHealth::Ok),
+                Err(_) => {
+                    psca_obs::counter("adapt.firmware.errors").inc();
+                    (false, PredictionHealth::FirmwareFault)
+                }
+            }
+        };
+        // µC prediction faults strike between inference and actuation.
+        let mut schedule = true;
+        let mut target = widx + HORIZON;
+        match injector.prediction_fault() {
+            None => {}
+            Some(PredictionFault::Dropped) => schedule = false,
+            Some(PredictionFault::LatencyOverrun) => {
+                // The prediction misses its t+2 apply deadline and lands a
+                // window late, already stale.
+                target += 1;
+                if health.is_healthy() {
+                    health = PredictionHealth::Stale;
+                }
+            }
+            Some(PredictionFault::WeightCorruption) if health.is_healthy() => {
+                health = PredictionHealth::NonFinite;
+            }
+            Some(PredictionFault::WeightCorruption) => {}
+        }
+        if schedule {
+            while pending.len() <= target {
+                pending.push(None);
+            }
+            pending[target] = Some((gate, health));
+            while predictions.len() <= target {
+                predictions.push(None);
+            }
+            predictions[target] = Some(gate as u8);
+        }
+        // Firmware-image bit flips: a reload from a corrupted image must
+        // be caught by the image checksum / weight validator.
+        if injector.image_fault() {
+            if let Ok(mut img) = image::encode(fw) {
+                injector.corrupt_image(&mut img, 3);
+                if image::decode(&img).is_err() {
+                    images_rejected += 1;
+                    psca_obs::counter("uc.image.rejected").inc();
+                }
+            }
+        }
+        // Keep the heuristic fallback warm every window so it has a live
+        // IPC reference the moment the ladder needs it.
+        heuristic_gate = heuristic.vet(window_mode == Mode::LowPower, ipc, true);
+        if psca_obs::enabled(psca_obs::Level::Trace) {
+            psca_obs::emit(
+                psca_obs::Level::Trace,
+                "adapt.window.decision",
+                &[
+                    ("window", widx.into()),
+                    ("mode", window_mode.to_string().into()),
+                    ("gate", gate.into()),
+                    ("level", watchdog.level().name().into()),
+                ],
+            );
+        }
+        widx += 1;
+    }
+    predictions.truncate(modes.len());
+    let low_power_residency = if modes.is_empty() {
+        0.0
+    } else {
+        low_windows as f64 / modes.len() as f64
+    };
+    HardenedLoopResult {
+        result: ClosedLoopResult {
+            predictions,
+            modes,
+            energy,
+            cycles,
+            instructions,
+            low_power_residency,
+        },
+        degrade: watchdog.summary(),
+        faults: *injector.counts(),
+        images_rejected,
+        window_ipc,
+    }
+}
+
 /// Records `(warm, window)` trace pair from a source, for replay through
 /// both the paired-mode collector and the closed loop.
 pub fn record_trace<S: TraceSource>(
@@ -199,6 +439,27 @@ mod tests {
         let cfg = ExperimentConfig::quick();
         let model = zoo::train(ModelKind::BestRf, &corpus, &cfg);
         (corpus, model, cfg)
+    }
+
+    #[test]
+    fn ppw_is_zero_without_energy() {
+        let mut res = ClosedLoopResult {
+            predictions: vec![],
+            modes: vec![],
+            energy: 0.0,
+            cycles: 0,
+            instructions: 1_000,
+            low_power_residency: 0.0,
+        };
+        assert_eq!(res.ppw(), 0.0, "zero energy must not yield ~1e308");
+        res.energy = f64::NAN;
+        assert_eq!(res.ppw(), 0.0);
+        res.energy = f64::INFINITY;
+        assert_eq!(res.ppw(), 0.0);
+        res.energy = -1.0;
+        assert_eq!(res.ppw(), 0.0);
+        res.energy = 500.0;
+        assert_eq!(res.ppw(), 2.0);
     }
 
     #[test]

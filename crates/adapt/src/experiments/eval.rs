@@ -154,7 +154,17 @@ fn emulate_trace(
             Mode::HighPerf => (&trace.rows_hi[span.clone()], &trace.cycles_hi[span]),
             Mode::LowPower => (&trace.rows_lo[span.clone()], &trace.cycles_lo[span]),
         };
-        let mut gate = model.predict(mode, rows, cycles);
+        let mut gate = model.try_predict(mode, rows, cycles).unwrap_or_else(|e| {
+            // A firmware fault during trace emulation: fail safe (stay in
+            // high-performance mode) and count it rather than panicking.
+            psca_obs::counter("adapt.firmware.errors").inc();
+            psca_obs::emit(
+                psca_obs::Level::Warn,
+                "adapt.firmware.error",
+                &[("error", e.to_string().into()), ("window", t.into())],
+            );
+            false
+        });
         if let Some(g) = guardrail.as_mut() {
             let ipc = match mode {
                 Mode::HighPerf => agg.ipc_hi[t],

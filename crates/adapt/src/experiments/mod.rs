@@ -5,6 +5,7 @@
 //! The `repro` binary in `psca-bench` dispatches to these.
 
 pub mod ablations;
+pub mod chaos;
 pub mod fig10;
 pub mod fig4;
 pub mod fig5;

@@ -74,7 +74,11 @@ pub fn run(cfg: &ExperimentConfig, hdtr: &CorpusTelemetry) -> Table3 {
 
     let pgos_of = |fw: &FirmwareModel, val: &psca_ml::Dataset| -> f64 {
         let preds: Vec<u8> = (0..val.len())
-            .map(|i| fw.predict(val.sample(i).0) as u8)
+            .map(|i| {
+                fw.predict(val.sample(i).0)
+                    .expect("validation features match firmware dimensionality")
+                    as u8
+            })
             .collect();
         Confusion::from_predictions(val.labels(), &preds).pgos()
     };

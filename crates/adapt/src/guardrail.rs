@@ -57,6 +57,10 @@ pub struct Guardrail {
     gated_streak: usize,
     trips: usize,
     probes: usize,
+    /// Set when a probe has been issued: the next high-performance window
+    /// *replaces* the IPC reference instead of EWMA-blending into it, so a
+    /// probe after a phase change cannot leave a half-stale reference.
+    refresh_pending: bool,
 }
 
 impl Guardrail {
@@ -71,7 +75,24 @@ impl Guardrail {
             gated_streak: 0,
             trips: 0,
             probes: 0,
+            refresh_pending: false,
         }
+    }
+
+    /// Windows of forced high-performance remaining in the current
+    /// cooldown (0 when not tripped).
+    pub fn cooldown_remaining(&self) -> usize {
+        self.cooldown_left
+    }
+
+    /// Consecutive gated windows observed since the last ungated one.
+    pub fn gated_streak(&self) -> usize {
+        self.gated_streak
+    }
+
+    /// The current high-performance IPC reference, if one exists.
+    pub fn reference(&self) -> Option<f64> {
+        self.hi_ipc_estimate
     }
 
     /// Number of reference-refresh probes issued.
@@ -131,11 +152,16 @@ impl Guardrail {
                 }
             }
         } else {
-            // Refresh the high-performance reference.
+            // Refresh the high-performance reference. After a probe the
+            // sample is authoritative: hard-reset rather than blend, so
+            // the pre-probe phase cannot linger in the estimate.
             self.hi_ipc_estimate = Some(match self.hi_ipc_estimate {
-                Some(est) => (1.0 - self.cfg.alpha) * est + self.cfg.alpha * ipc,
-                None => ipc,
+                Some(est) if !self.refresh_pending => {
+                    (1.0 - self.cfg.alpha) * est + self.cfg.alpha * ipc
+                }
+                _ => ipc,
             });
+            self.refresh_pending = false;
             self.consecutive_breaches = 0;
             self.gated_streak = 0;
         }
@@ -144,8 +170,12 @@ impl Guardrail {
             return false; // force high-performance
         }
         if wants_gate && self.gated_streak >= self.cfg.probe_period {
-            // Reference-refresh probe: one ungated window.
+            // Reference-refresh probe: one ungated window. The breach
+            // streak resets with it — breaches judged against the stale
+            // pre-probe reference must not combine with post-probe ones.
             self.gated_streak = 0;
+            self.consecutive_breaches = 0;
+            self.refresh_pending = true;
             self.probes += 1;
             psca_obs::counter("adapt.guardrail.probes").inc();
             psca_obs::emit(

@@ -21,12 +21,16 @@
 //! - [`run_closed_loop`] — the deployed system: telemetry interval →
 //!   firmware inference → cluster gating at `t+2`, with PPW/RSV scoring
 //!   against ground truth;
+//! - [`run_closed_loop_hardened`] and [`degrade`] — the same loop under
+//!   injected telemetry/µC/actuation faults (`psca-faults`), protected by
+//!   a graceful-degradation ladder;
 //! - [`experiments`] — one driver per table and figure of the paper;
 //! - [`ExperimentConfig`] — the scaled experiment grid (quick vs. full).
 
 #![warn(missing_docs)]
 
 pub mod counters;
+pub mod degrade;
 pub mod experiments;
 pub mod guardrail;
 pub mod postsilicon;
@@ -40,7 +44,9 @@ mod sla;
 mod train;
 
 pub use config::ExperimentConfig;
-pub use controller::{record_trace, run_closed_loop, ClosedLoopResult};
+pub use controller::{
+    record_trace, run_closed_loop, run_closed_loop_hardened, ClosedLoopResult, HardenedLoopResult,
+};
 pub use paired::{collect_paired, CorpusTelemetry, TraceTelemetry};
 pub use sla::Sla;
 pub use train::{build_dataset, tune_threshold, Featurizer, ModelKind, TrainedAdaptModel, HORIZON};

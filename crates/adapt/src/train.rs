@@ -20,7 +20,7 @@ use psca_ml::histogram::HistogramFeaturizer;
 use psca_ml::metrics::rate_of_sla_violations;
 use psca_ml::{Dataset, Matrix, Standardizer};
 use psca_telemetry::Event;
-use psca_uc::FirmwareModel;
+use psca_uc::{FirmwareError, FirmwareModel};
 
 /// The prediction horizon in prediction intervals (Figure 3: counters
 /// from interval `t` configure interval `t+2`).
@@ -224,12 +224,35 @@ pub struct TrainedAdaptModel {
 }
 
 impl TrainedAdaptModel {
-    /// Gating decision from one prediction window observed in `mode`.
-    pub fn predict(&self, mode: Mode, rows: &[Vec<f64>], cycles: &[u64]) -> bool {
-        let (feat, fw) = match mode {
+    /// The featurizer/firmware pair that serves telemetry observed in
+    /// `mode` (the paper deploys one predictor per cluster configuration).
+    pub fn mode_parts(&self, mode: Mode) -> (&Featurizer, &FirmwareModel) {
+        match mode {
             Mode::HighPerf => (&self.feat_hi, &self.fw_hi),
             Mode::LowPower => (&self.feat_lo, &self.fw_lo),
-        };
+        }
+    }
+
+    /// Gating decision from one prediction window observed in `mode`.
+    ///
+    /// # Panics
+    /// Panics if the firmware rejects its own featurizer's output — that
+    /// indicates a corrupted deployment, not a data problem. Fallible
+    /// callers (the hardened closed loop) use [`Self::try_predict`].
+    pub fn predict(&self, mode: Mode, rows: &[Vec<f64>], cycles: &[u64]) -> bool {
+        self.try_predict(mode, rows, cycles)
+            .expect("featurizer output matches firmware dimensionality")
+    }
+
+    /// Fallible gating decision: surfaces [`FirmwareError`] instead of
+    /// panicking, so a degraded deployment can fall back gracefully.
+    pub fn try_predict(
+        &self,
+        mode: Mode,
+        rows: &[Vec<f64>],
+        cycles: &[u64],
+    ) -> Result<bool, FirmwareError> {
+        let (feat, fw) = self.mode_parts(mode);
         fw.predict(&feat.featurize(rows, cycles))
     }
 
@@ -251,7 +274,10 @@ pub fn tune_threshold(
     target_rsv: f64,
 ) -> f64 {
     let scores: Vec<f64> = (0..features.rows())
-        .map(|i| fw.score(features.row(i)))
+        .map(|i| {
+            fw.score(features.row(i))
+                .expect("tuning features match firmware dimensionality")
+        })
         .collect();
     let mut chosen = 0.95;
     for &t in &[
@@ -385,7 +411,9 @@ mod tests {
         let lr = LogisticRegression::fit(&train, 1e-4, 50);
         let mut fw = FirmwareModel::Logistic(lr);
         let t = tune_threshold(&mut fw, &x, &labels, 3, 0.01);
-        let preds: Vec<u8> = (0..6).map(|i| fw.predict(x.row(i)) as u8).collect();
+        let preds: Vec<u8> = (0..6)
+            .map(|i| fw.predict(x.row(i)).unwrap() as u8)
+            .collect();
         let rsv = rate_of_sla_violations(&labels, &preds, 3);
         assert!(rsv <= 0.01 || t >= 0.95, "rsv {rsv} at threshold {t}");
     }

@@ -121,7 +121,12 @@ fn round_error(
         return 0.0;
     }
     let wrong = (0..data.len())
-        .filter(|&i| fw.predict(data.features().row(i)) as u8 != data.labels()[i])
+        .filter(|&i| {
+            let pred = fw
+                .predict(data.features().row(i))
+                .expect("round features match firmware dimensionality");
+            pred as u8 != data.labels()[i]
+        })
         .count();
     wrong as f64 / data.len() as f64
 }

@@ -46,7 +46,7 @@ fn firmware_inference(c: &mut Criterion) {
     let mut group = c.benchmark_group("firmware_inference");
     for (name, fw) in &models {
         group.bench_function(*name, |b| {
-            b.iter(|| criterion::black_box(fw.predict(criterion::black_box(&x))))
+            b.iter(|| criterion::black_box(fw.predict(criterion::black_box(&x)).unwrap()))
         });
     }
     group.finish();

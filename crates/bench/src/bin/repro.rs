@@ -7,6 +7,8 @@
 //! repro -- all --trace-out t.json    # record a Perfetto trace
 //! repro -- all --serve-metrics       # live /metrics + /healthz + /report
 //! repro -- all --dash                # live TTY dashboard on stderr
+//! repro -- --chaos default --quick   # chaos harness; exit 1 on SLA breach
+//! repro -- --chaos uc.drop=0.1,seed=7 chaos-sweep
 //! ```
 //!
 //! Observability: every experiment driver scopes the global metric
@@ -14,10 +16,11 @@
 //! and absorbs the registry around each experiment to keep the end-of-run
 //! report covering the whole invocation.
 
-use psca_adapt::experiments::{ablations, fig10, fig4, fig5, fig6, fig7, fig8, fig9};
+use psca_adapt::experiments::{ablations, chaos, fig10, fig4, fig5, fig6, fig7, fig8, fig9};
 use psca_adapt::experiments::{table1, table2, table3, table4, table5, table6};
 use psca_adapt::ExperimentConfig;
 use psca_bench::{Corpora, EXPERIMENTS};
+use psca_faults::ChaosSpec;
 use psca_obs::{MetricsSnapshot, RunReport};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -59,6 +62,7 @@ struct Cli {
     dash: bool,
     serve_metrics: bool,
     trace_out: Option<String>,
+    chaos: Option<String>,
     wanted: Vec<String>,
 }
 
@@ -69,6 +73,7 @@ fn parse_cli() -> Cli {
         dash: false,
         serve_metrics: false,
         trace_out: None,
+        chaos: None,
         wanted: Vec::new(),
     };
     let mut i = 0;
@@ -87,9 +92,22 @@ fn parse_cli() -> Cli {
                     }
                 }
             }
+            "--chaos" => {
+                i += 1;
+                match args.get(i) {
+                    Some(spec) => cli.chaos = Some(spec.clone()),
+                    None => {
+                        eprintln!(
+                            "[repro] --chaos requires a spec argument (try 'default' or \
+                             'uc.drop=0.05,telem=0.02,seed=7'; see docs/ROBUSTNESS.md)"
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            }
             flag if flag.starts_with("--") => {
                 eprintln!(
-                    "[repro] unknown flag '{flag}'. Known: --quick --dash --serve-metrics --trace-out PATH"
+                    "[repro] unknown flag '{flag}'. Known: --quick --dash --serve-metrics --trace-out PATH --chaos SPEC"
                 );
                 std::process::exit(2);
             }
@@ -97,7 +115,10 @@ fn parse_cli() -> Cli {
         }
         i += 1;
     }
-    if cli.wanted.is_empty() || cli.wanted.iter().any(|w| w == "all") {
+    if cli.wanted.is_empty() && cli.chaos.is_some() {
+        // `repro --chaos SPEC` alone means: run just the chaos harness.
+        cli.wanted.push("chaos-sweep".to_string());
+    } else if cli.wanted.is_empty() || cli.wanted.iter().any(|w| w == "all") {
         cli.wanted = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     }
     cli
@@ -105,6 +126,18 @@ fn parse_cli() -> Cli {
 
 fn main() {
     let cli = parse_cli();
+    // Parse the chaos spec up front so a typo fails fast, before any
+    // corpus simulation.
+    let chaos_spec = match &cli.chaos {
+        Some(s) => match ChaosSpec::parse(s) {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("[repro] bad --chaos spec: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => ChaosSpec::default_chaos(),
+    };
     let cfg = if cli.quick {
         ExperimentConfig::quick()
     } else {
@@ -141,6 +174,7 @@ fn main() {
     let mut report = RunReport::new(&run_id);
     let mut acc = MetricsSnapshot::default();
     let mut corpora = Corpora::new();
+    let mut chaos_failed = false;
     // Prefetch shared corpora before any experiment resets the registry,
     // so corpus-construction metrics land in the accumulated snapshot.
     if cli.wanted.iter().any(|w| NEEDS_HDTR.contains(&w.as_str())) {
@@ -288,6 +322,13 @@ fn main() {
                     ablations::format_points("counter normalization", &points)
                 );
             }
+            "chaos-sweep" => {
+                let sweep = chaos::chaos_sweep(&cfg, &chaos_spec);
+                println!("{sweep}");
+                if !sweep.pass {
+                    chaos_failed = true;
+                }
+            }
             other => {
                 eprintln!("[repro] unknown experiment '{other}'. Known: {EXPERIMENTS:?}");
                 std::process::exit(2);
@@ -320,6 +361,11 @@ fn main() {
         }
     }
     psca_obs::exporter::shutdown_global();
+    // An explicit `--chaos` run is a gate: SLA budget broken → exit 1.
+    if chaos_failed && cli.chaos.is_some() {
+        eprintln!("[repro] chaos sweep FAILED its SLA budget");
+        std::process::exit(1);
+    }
 }
 
 /// Derives the headline summary from the accumulated metrics snapshot and
@@ -344,6 +390,12 @@ fn finalize_report(report: &mut RunReport, snap: &MetricsSnapshot) {
     report.set("windows_gated_low", c("adapt.windows_gated_low"));
     report.set("guardrail_trips", c("adapt.guardrail.trips"));
     report.set("sla_violations", c("adapt.sla.violations"));
+    let faults = c("faults.injected");
+    if faults > 0 {
+        report.set("faults_injected", faults);
+        report.set("degrade_transitions", c("adapt.degrade.transitions"));
+        report.set("images_rejected", c("uc.image.rejected"));
+    }
     let predictions = c("adapt.predictions");
     if predictions > 0 {
         report.set(

@@ -17,7 +17,7 @@ pub mod chart;
 use psca_adapt::{CorpusTelemetry, ExperimentConfig};
 
 /// Experiment identifiers accepted by the `repro` binary.
-pub const EXPERIMENTS: [&str; 19] = [
+pub const EXPERIMENTS: [&str; 20] = [
     "table1",
     "table2",
     "table3",
@@ -37,6 +37,7 @@ pub const EXPERIMENTS: [&str; 19] = [
     "ablate-dvfs",
     "ablate-horizon",
     "ablate-normalization",
+    "chaos-sweep",
 ];
 
 /// Lazily-built corpora shared across experiments in one `repro` run.

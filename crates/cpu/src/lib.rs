@@ -39,6 +39,6 @@ pub use cache::{AccessOutcome, Cache};
 pub use config::{CpuConfig, SteerPolicy};
 pub use dvfs::{DvfsGovernor, DvfsModel, OperatingPoint};
 pub use power::PowerModel;
-pub use sim::{ClusterSim, IntervalResult, Mode};
+pub use sim::{ClusterSim, IntervalResult, Mode, ModeSwitchFault};
 pub use summary::RunSummary;
 pub use tlb::Tlb;

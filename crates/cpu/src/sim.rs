@@ -46,6 +46,21 @@ impl std::fmt::Display for Mode {
     }
 }
 
+/// A fault applied to one mode-switch request at the actuation port
+/// (the controller → cluster-gating interface). Injected by the chaos
+/// harness; `None` is the healthy path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ModeSwitchFault {
+    /// The request is applied normally.
+    #[default]
+    None,
+    /// The request is dropped; the configuration does not change.
+    Lost,
+    /// The request is buffered and applied at the next
+    /// [`ClusterSim::apply_delayed_mode`] call (one window late).
+    DelayedOneWindow,
+}
+
 /// Result of simulating one telemetry interval.
 #[derive(Debug, Clone)]
 pub struct IntervalResult {
@@ -65,9 +80,13 @@ impl IntervalResult {
         self.snapshot.ipc()
     }
 
-    /// Performance per energy: instructions per energy unit.
+    /// Performance per energy: instructions per energy unit; 0.0 when the
+    /// interval recorded no (or non-finite) energy.
     pub fn ppw(&self) -> f64 {
-        self.instructions as f64 / self.energy.max(f64::MIN_POSITIVE)
+        if !self.energy.is_finite() || self.energy <= 0.0 {
+            return 0.0;
+        }
+        self.instructions as f64 / self.energy
     }
 }
 
@@ -187,6 +206,8 @@ pub struct ClusterSim {
     active_cc: u64,
     gated_cc: u64,
     last_schedule: [u64; 6],
+    // mode-switch request delayed by an actuation fault
+    delayed_mode: Option<Mode>,
 }
 
 impl ClusterSim {
@@ -241,6 +262,7 @@ impl ClusterSim {
             active_cc: 0,
             gated_cc: 0,
             last_schedule: [0; 6],
+            delayed_mode: None,
             mode: Mode::HighPerf,
             cfg,
             power,
@@ -310,6 +332,47 @@ impl ClusterSim {
             }
         }
         self.mode = mode;
+    }
+
+    /// Submits a mode-switch request through the (possibly faulty)
+    /// actuation port. With [`ModeSwitchFault::None`] this is exactly
+    /// [`ClusterSim::set_mode`]. Returns whether the request took effect
+    /// immediately.
+    pub fn request_mode(&mut self, mode: Mode, fault: ModeSwitchFault) -> bool {
+        match fault {
+            ModeSwitchFault::None => {
+                self.set_mode(mode);
+                true
+            }
+            ModeSwitchFault::Lost => {
+                if mode != self.mode {
+                    psca_obs::counter("cpu.mode_switch.lost").inc();
+                    psca_obs::emit(
+                        psca_obs::Level::Warn,
+                        "cpu.mode_switch.lost",
+                        &[("wanted", mode.to_string().into())],
+                    );
+                }
+                false
+            }
+            ModeSwitchFault::DelayedOneWindow => {
+                if mode != self.mode {
+                    self.delayed_mode = Some(mode);
+                    psca_obs::counter("cpu.mode_switch.delayed").inc();
+                }
+                false
+            }
+        }
+    }
+
+    /// Applies a mode-switch request that an actuation fault delayed, if
+    /// one is buffered. Call at each window boundary; returns the mode
+    /// applied. A newer request issued in the meantime overrides it (the
+    /// caller's `request_mode` runs after this drain).
+    pub fn apply_delayed_mode(&mut self) -> Option<Mode> {
+        let mode = self.delayed_mode.take()?;
+        self.set_mode(mode);
+        Some(mode)
     }
 
     fn active_width(&self) -> u32 {
@@ -875,6 +938,23 @@ mod tests {
         }
         assert_eq!(toggle_insts, 200_000);
         assert!(toggle_energy > 0.0);
+    }
+
+    #[test]
+    fn lost_and_delayed_mode_switch_requests() {
+        let mut sim = ClusterSim::new(CpuConfig::skylake_scaled());
+        // Lost: the configuration must not change.
+        assert!(!sim.request_mode(Mode::LowPower, ModeSwitchFault::Lost));
+        assert_eq!(sim.mode(), Mode::HighPerf);
+        // Delayed: takes effect only at the drain point.
+        assert!(!sim.request_mode(Mode::LowPower, ModeSwitchFault::DelayedOneWindow));
+        assert_eq!(sim.mode(), Mode::HighPerf);
+        assert_eq!(sim.apply_delayed_mode(), Some(Mode::LowPower));
+        assert_eq!(sim.mode(), Mode::LowPower);
+        assert_eq!(sim.apply_delayed_mode(), None);
+        // Healthy path is exactly set_mode.
+        assert!(sim.request_mode(Mode::HighPerf, ModeSwitchFault::None));
+        assert_eq!(sim.mode(), Mode::HighPerf);
     }
 
     #[test]

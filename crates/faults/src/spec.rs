@@ -1,0 +1,322 @@
+//! The chaos-spec grammar: a comma-separated list of `key=value` pairs
+//! selecting per-class fault rates, the injection seed, and an optional
+//! burst cutoff.
+//!
+//! ```text
+//! spec     := entry (',' entry)*
+//! entry    := key '=' value
+//! key      := 'seed' | 'burst' | 'max_rsv'
+//!           | 'telem.stuck' | 'telem.sat' | 'telem.drop'
+//!           | 'telem.drift' | 'telem.nan'
+//!           | 'uc.drop' | 'uc.late' | 'uc.nan' | 'uc.bitflip'
+//!           | 'act.lost' | 'act.delay'
+//!           | 'telem' | 'uc' | 'act' | 'all'        (group shorthands)
+//! value    := rate in [0, 1] (per-window probability), or an integer
+//!             for 'seed' / 'burst'
+//! ```
+//!
+//! Group shorthands set every rate in the group; later entries override
+//! earlier ones, so `all=0.02,uc.late=0.1` is a valid refinement.
+
+use std::fmt;
+
+/// Per-window fault probabilities plus injection seed. Parsed from the
+/// grammar above; `Default` is all-zero rates (injection disabled).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosSpec {
+    /// Seed for the injector's SplitMix64 stream.
+    pub seed: u64,
+    /// Stop injecting after this many windows (None = whole run). Burst
+    /// specs exercise escalation-then-recovery paths.
+    pub burst_windows: Option<u64>,
+    /// SLA-violation-rate bound asserted by the chaos harness.
+    pub max_rsv: f64,
+    /// Telemetry: a counter column's value has a bit stuck high.
+    pub telem_stuck: f64,
+    /// Telemetry: a counter column reads full-scale (saturated).
+    pub telem_saturate: f64,
+    /// Telemetry: a counter column is dropped (reads zero).
+    pub telem_drop: f64,
+    /// Telemetry: a counter column is rescaled by a drift factor.
+    pub telem_drift: f64,
+    /// Telemetry: a counter sample reads NaN.
+    pub telem_nan: f64,
+    /// µC: the prediction for this window is never produced.
+    pub uc_drop: f64,
+    /// µC: inference overruns the `t+2` deadline; the prediction lands a
+    /// window late.
+    pub uc_late: f64,
+    /// µC: in-memory weight corruption makes the score non-finite.
+    pub uc_nan: f64,
+    /// µC: a pushed firmware image arrives with flipped bits (rejected by
+    /// image validation).
+    pub uc_bitflip: f64,
+    /// Actuation: the mode-switch request is lost.
+    pub act_lost: f64,
+    /// Actuation: the mode-switch request is applied one window late.
+    pub act_delayed: f64,
+}
+
+impl Default for ChaosSpec {
+    fn default() -> ChaosSpec {
+        ChaosSpec {
+            seed: 0xC0FFEE,
+            burst_windows: None,
+            max_rsv: 0.5,
+            telem_stuck: 0.0,
+            telem_saturate: 0.0,
+            telem_drop: 0.0,
+            telem_drift: 0.0,
+            telem_nan: 0.0,
+            uc_drop: 0.0,
+            uc_late: 0.0,
+            uc_nan: 0.0,
+            uc_bitflip: 0.0,
+            act_lost: 0.0,
+            act_delayed: 0.0,
+        }
+    }
+}
+
+impl ChaosSpec {
+    /// The default chaos mix used by `repro --chaos default` and the CI
+    /// smoke job: every fault class enabled at a low rate.
+    pub fn default_chaos() -> ChaosSpec {
+        ChaosSpec {
+            telem_stuck: 0.01,
+            telem_saturate: 0.01,
+            telem_drop: 0.01,
+            telem_drift: 0.01,
+            telem_nan: 0.01,
+            uc_drop: 0.02,
+            uc_late: 0.02,
+            uc_nan: 0.01,
+            uc_bitflip: 0.01,
+            act_lost: 0.01,
+            act_delayed: 0.01,
+            ..ChaosSpec::default()
+        }
+    }
+
+    /// Parses the chaos-spec grammar. `"default"` / `""` yield
+    /// [`ChaosSpec::default_chaos`]; `"off"` yields all-zero rates.
+    pub fn parse(s: &str) -> Result<ChaosSpec, String> {
+        let s = s.trim();
+        if s.is_empty() || s == "default" {
+            return Ok(ChaosSpec::default_chaos());
+        }
+        if s == "off" {
+            return Ok(ChaosSpec::default());
+        }
+        let mut spec = ChaosSpec::default();
+        for entry in s.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (key, value) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("'{entry}': expected key=value"))?;
+            let key = key.trim();
+            let value = value.trim();
+            match key {
+                "seed" => {
+                    spec.seed = value
+                        .parse::<u64>()
+                        .map_err(|_| format!("'{entry}': seed must be a non-negative integer"))?;
+                }
+                "burst" => {
+                    spec.burst_windows =
+                        Some(value.parse::<u64>().map_err(|_| {
+                            format!("'{entry}': burst must be a non-negative integer")
+                        })?);
+                }
+                "max_rsv" => {
+                    spec.max_rsv = parse_rate(entry, value)?;
+                }
+                _ => {
+                    let rate = parse_rate(entry, value)?;
+                    match key {
+                        "telem.stuck" => spec.telem_stuck = rate,
+                        "telem.sat" => spec.telem_saturate = rate,
+                        "telem.drop" => spec.telem_drop = rate,
+                        "telem.drift" => spec.telem_drift = rate,
+                        "telem.nan" => spec.telem_nan = rate,
+                        "uc.drop" => spec.uc_drop = rate,
+                        "uc.late" => spec.uc_late = rate,
+                        "uc.nan" => spec.uc_nan = rate,
+                        "uc.bitflip" => spec.uc_bitflip = rate,
+                        "act.lost" => spec.act_lost = rate,
+                        "act.delay" => spec.act_delayed = rate,
+                        "telem" => {
+                            spec.telem_stuck = rate;
+                            spec.telem_saturate = rate;
+                            spec.telem_drop = rate;
+                            spec.telem_drift = rate;
+                            spec.telem_nan = rate;
+                        }
+                        "uc" => {
+                            spec.uc_drop = rate;
+                            spec.uc_late = rate;
+                            spec.uc_nan = rate;
+                            spec.uc_bitflip = rate;
+                        }
+                        "act" => {
+                            spec.act_lost = rate;
+                            spec.act_delayed = rate;
+                        }
+                        "all" => {
+                            spec.telem_stuck = rate;
+                            spec.telem_saturate = rate;
+                            spec.telem_drop = rate;
+                            spec.telem_drift = rate;
+                            spec.telem_nan = rate;
+                            spec.uc_drop = rate;
+                            spec.uc_late = rate;
+                            spec.uc_nan = rate;
+                            spec.uc_bitflip = rate;
+                            spec.act_lost = rate;
+                            spec.act_delayed = rate;
+                        }
+                        _ => return Err(format!("'{entry}': unknown key '{key}'")),
+                    }
+                }
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Returns the spec with every rate multiplied by `factor`, clamped
+    /// to `[0, 1]`. Used by the chaos sweep.
+    pub fn scaled(&self, factor: f64) -> ChaosSpec {
+        let s = |r: f64| (r * factor).clamp(0.0, 1.0);
+        ChaosSpec {
+            seed: self.seed,
+            burst_windows: self.burst_windows,
+            max_rsv: self.max_rsv,
+            telem_stuck: s(self.telem_stuck),
+            telem_saturate: s(self.telem_saturate),
+            telem_drop: s(self.telem_drop),
+            telem_drift: s(self.telem_drift),
+            telem_nan: s(self.telem_nan),
+            uc_drop: s(self.uc_drop),
+            uc_late: s(self.uc_late),
+            uc_nan: s(self.uc_nan),
+            uc_bitflip: s(self.uc_bitflip),
+            act_lost: s(self.act_lost),
+            act_delayed: s(self.act_delayed),
+        }
+    }
+
+    /// Whether any fault class has a non-zero rate.
+    pub fn any_enabled(&self) -> bool {
+        [
+            self.telem_stuck,
+            self.telem_saturate,
+            self.telem_drop,
+            self.telem_drift,
+            self.telem_nan,
+            self.uc_drop,
+            self.uc_late,
+            self.uc_nan,
+            self.uc_bitflip,
+            self.act_lost,
+            self.act_delayed,
+        ]
+        .iter()
+        .any(|&r| r > 0.0)
+    }
+}
+
+fn parse_rate(entry: &str, value: &str) -> Result<f64, String> {
+    let rate: f64 = value
+        .parse()
+        .map_err(|_| format!("'{entry}': rate must be a number"))?;
+    if !(0.0..=1.0).contains(&rate) || !rate.is_finite() {
+        return Err(format!("'{entry}': rate must be in [0, 1]"));
+    }
+    Ok(rate)
+}
+
+impl fmt::Display for ChaosSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seed={}", self.seed)?;
+        if let Some(b) = self.burst_windows {
+            write!(f, ",burst={b}")?;
+        }
+        for (key, rate) in [
+            ("telem.stuck", self.telem_stuck),
+            ("telem.sat", self.telem_saturate),
+            ("telem.drop", self.telem_drop),
+            ("telem.drift", self.telem_drift),
+            ("telem.nan", self.telem_nan),
+            ("uc.drop", self.uc_drop),
+            ("uc.late", self.uc_late),
+            ("uc.nan", self.uc_nan),
+            ("uc.bitflip", self.uc_bitflip),
+            ("act.lost", self.act_lost),
+            ("act.delay", self.act_delayed),
+        ] {
+            if rate > 0.0 {
+                write!(f, ",{key}={rate}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_keyword_enables_every_class() {
+        let spec = ChaosSpec::parse("default").unwrap();
+        assert!(spec.any_enabled());
+        assert!(spec.telem_stuck > 0.0 && spec.act_delayed > 0.0);
+    }
+
+    #[test]
+    fn off_disables_everything() {
+        assert!(!ChaosSpec::parse("off").unwrap().any_enabled());
+    }
+
+    #[test]
+    fn group_shorthand_then_refinement() {
+        let spec = ChaosSpec::parse("all=0.02,uc.late=0.5,seed=7").unwrap();
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.telem_drop, 0.02);
+        assert_eq!(spec.uc_late, 0.5);
+        assert_eq!(spec.uc_drop, 0.02);
+    }
+
+    #[test]
+    fn burst_and_max_rsv_parse() {
+        let spec = ChaosSpec::parse("uc.drop=1.0,burst=4,max_rsv=0.25").unwrap();
+        assert_eq!(spec.burst_windows, Some(4));
+        assert_eq!(spec.max_rsv, 0.25);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!(ChaosSpec::parse("uc.drop").is_err());
+        assert!(ChaosSpec::parse("uc.drop=2.0").is_err());
+        assert!(ChaosSpec::parse("uc.drop=-0.1").is_err());
+        assert!(ChaosSpec::parse("nonsense=0.1").is_err());
+        assert!(ChaosSpec::parse("seed=abc").is_err());
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        let spec = ChaosSpec::parse("telem.nan=0.25,uc.drop=0.125,seed=42").unwrap();
+        let back = ChaosSpec::parse(&spec.to_string()).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn scaling_clamps_to_unit_interval() {
+        let spec = ChaosSpec::parse("uc.drop=0.6").unwrap().scaled(3.0);
+        assert_eq!(spec.uc_drop, 1.0);
+        assert_eq!(spec.telem_nan, 0.0);
+    }
+}

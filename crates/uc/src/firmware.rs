@@ -16,7 +16,43 @@
 
 use crate::opcount::OpCounter;
 use psca_ml::gbdt::Gbdt;
-use psca_ml::{KernelSvm, LinearSvm, LogisticRegression, Mlp, RandomForest};
+use psca_ml::{KernelSvm, LinearSvm, LogisticRegression, Mlp, Node, RandomForest};
+use std::fmt;
+
+/// Typed firmware inference/validation errors. Field-deployed firmware
+/// must never panic on bad input — a malformed feature vector or a
+/// corrupted weight becomes a recoverable error the degradation ladder
+/// can act on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FirmwareError {
+    /// The input feature vector has the wrong dimensionality.
+    DimensionMismatch {
+        /// Dimensionality the model was trained for.
+        expected: usize,
+        /// Dimensionality of the offending input.
+        got: usize,
+    },
+    /// A model parameter is NaN or infinite (names the component).
+    NonFiniteParameter(&'static str),
+}
+
+impl fmt::Display for FirmwareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FirmwareError::DimensionMismatch { expected, got } => {
+                write!(
+                    f,
+                    "input dimension mismatch: expected {expected}, got {got}"
+                )
+            }
+            FirmwareError::NonFiniteParameter(what) => {
+                write!(f, "non-finite model parameter in {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FirmwareError {}
 
 /// A trained adaptation model compiled for the microcontroller.
 #[derive(Debug, Clone)]
@@ -49,12 +85,40 @@ impl FirmwareModel {
         }
     }
 
+    /// Input dimensionality the model was trained for, where the model
+    /// class records it (GBDT regression trees do not).
+    pub fn input_dim(&self) -> Option<usize> {
+        match self {
+            FirmwareModel::Mlp(m) => Some(m.layer_weights(0).0.cols()),
+            FirmwareModel::Forest(m) => m.trees().first().map(|t| t.num_features()),
+            FirmwareModel::Logistic(m) => Some(m.weights().len()),
+            FirmwareModel::SvmEnsemble(ms) => ms.first().map(|s| s.weights().len()),
+            FirmwareModel::Chi2Svm(m) => m.dim(),
+            FirmwareModel::Gbdt(_) => None,
+        }
+    }
+
+    fn check_dim(&self, x: &[f64]) -> Result<(), FirmwareError> {
+        match self.input_dim() {
+            Some(expected) if expected != x.len() => {
+                psca_obs::counter("uc.firmware.dim_errors").inc();
+                Err(FirmwareError::DimensionMismatch {
+                    expected,
+                    got: x.len(),
+                })
+            }
+            _ => Ok(()),
+        }
+    }
+
     /// Gating decision, identical to the wrapped model's.
     ///
-    /// # Panics
-    /// Panics if `x` has the wrong dimensionality.
-    pub fn predict(&self, x: &[f64]) -> bool {
-        match self {
+    /// # Errors
+    /// Returns [`FirmwareError::DimensionMismatch`] if `x` has the wrong
+    /// dimensionality; never panics on malformed input.
+    pub fn predict(&self, x: &[f64]) -> Result<bool, FirmwareError> {
+        self.check_dim(x)?;
+        Ok(match self {
             FirmwareModel::Mlp(m) => m.predict(x),
             FirmwareModel::Forest(m) => m.predict(x),
             FirmwareModel::Logistic(m) => m.predict(x),
@@ -64,14 +128,19 @@ impl FirmwareModel {
             }
             FirmwareModel::Chi2Svm(m) => m.predict(x),
             FirmwareModel::Gbdt(m) => m.predict(x),
-        }
+        })
     }
 
     /// Continuous decision score: a probability for MLP/forest/logistic
     /// models, a vote fraction for SVM ensembles, and a margin-squashed
     /// value for kernel SVMs. Used for threshold (sensitivity) tuning.
-    pub fn score(&self, x: &[f64]) -> f64 {
-        match self {
+    ///
+    /// # Errors
+    /// Returns [`FirmwareError::DimensionMismatch`] if `x` has the wrong
+    /// dimensionality; never panics on malformed input.
+    pub fn score(&self, x: &[f64]) -> Result<f64, FirmwareError> {
+        self.check_dim(x)?;
+        Ok(match self {
             FirmwareModel::Mlp(m) => m.predict_proba(x),
             FirmwareModel::Forest(m) => m.predict_proba(x),
             FirmwareModel::Logistic(m) => m.predict_proba(x),
@@ -80,6 +149,79 @@ impl FirmwareModel {
             }
             FirmwareModel::Chi2Svm(m) => 1.0 / (1.0 + (-m.decision(x)).exp()),
             FirmwareModel::Gbdt(m) => m.predict_proba(x),
+        })
+    }
+
+    /// Weight-sanity check: every reachable model parameter must be
+    /// finite. Run at image load (and before OTA deployment) so corrupted
+    /// weights are rejected instead of silently steering the cluster.
+    /// χ²-kernel SVM support vectors are not exposed for inspection, but
+    /// that class is not deployable as firmware anyway (Table 3).
+    ///
+    /// # Errors
+    /// Returns [`FirmwareError::NonFiniteParameter`] naming the first
+    /// offending component.
+    pub fn validate(&self) -> Result<(), FirmwareError> {
+        let finite = |ok: bool, what: &'static str| {
+            if ok {
+                Ok(())
+            } else {
+                Err(FirmwareError::NonFiniteParameter(what))
+            }
+        };
+        match self {
+            FirmwareModel::Mlp(m) => {
+                for li in 0..m.num_layers() {
+                    let (w, b) = m.layer_weights(li);
+                    for r in 0..w.rows() {
+                        for c in 0..w.cols() {
+                            finite(w.get(r, c).is_finite(), "MLP weight")?;
+                        }
+                    }
+                    finite(b.iter().all(|v| v.is_finite()), "MLP bias")?;
+                }
+                finite(m.threshold().is_finite(), "MLP threshold")
+            }
+            FirmwareModel::Forest(m) => {
+                for tree in m.trees() {
+                    for node in tree.nodes() {
+                        match node {
+                            Node::Leaf { prob } => finite(prob.is_finite(), "forest leaf")?,
+                            Node::Split { threshold, .. } => {
+                                finite(threshold.is_finite(), "forest split")?
+                            }
+                        }
+                    }
+                }
+                finite(m.threshold().is_finite(), "forest threshold")
+            }
+            FirmwareModel::Logistic(m) => {
+                finite(m.weights().iter().all(|v| v.is_finite()), "logistic weight")?;
+                finite(m.bias().is_finite(), "logistic bias")?;
+                finite(m.threshold().is_finite(), "logistic threshold")
+            }
+            FirmwareModel::SvmEnsemble(ms) => {
+                for s in ms {
+                    finite(s.weights().iter().all(|v| v.is_finite()), "SVM weight")?;
+                }
+                Ok(())
+            }
+            FirmwareModel::Chi2Svm(_) => Ok(()),
+            FirmwareModel::Gbdt(m) => {
+                for tree in m.trees() {
+                    for node in tree.nodes() {
+                        match node {
+                            psca_ml::gbdt::RegNode::Leaf { value } => {
+                                finite(value.is_finite(), "GBDT leaf")?
+                            }
+                            psca_ml::gbdt::RegNode::Split { threshold, .. } => {
+                                finite(threshold.is_finite(), "GBDT split")?
+                            }
+                        }
+                    }
+                }
+                finite(m.threshold().is_finite(), "GBDT threshold")
+            }
         }
     }
 
@@ -96,7 +238,12 @@ impl FirmwareModel {
     }
 
     /// Gating decision plus the exact firmware operation tally.
-    pub fn predict_counted(&self, x: &[f64]) -> (bool, OpCounter) {
+    ///
+    /// # Errors
+    /// Returns [`FirmwareError::DimensionMismatch`] if `x` has the wrong
+    /// dimensionality.
+    pub fn predict_counted(&self, x: &[f64]) -> Result<(bool, OpCounter), FirmwareError> {
+        self.check_dim(x)?;
         let mut ops = OpCounter::new();
         match self {
             FirmwareModel::Mlp(m) => {
@@ -160,13 +307,16 @@ impl FirmwareModel {
             }
         }
         psca_obs::histogram("uc.firmware.ops_per_prediction").record(ops.total());
-        (self.predict(x), ops)
+        Ok((self.predict(x)?, ops))
     }
 
     /// Operations per prediction (constant for a given model).
     pub fn ops_per_prediction(&self, num_inputs: usize) -> u64 {
-        let x = vec![0.0; num_inputs];
-        self.predict_counted(&x).1.total()
+        let x = vec![0.0; self.input_dim().unwrap_or(num_inputs)];
+        self.predict_counted(&x)
+            .expect("probe vector matches model dimensionality")
+            .1
+            .total()
     }
 
     /// Model parameter storage in bytes.
@@ -229,11 +379,59 @@ mod tests {
         let fw_rf = FirmwareModel::Forest(rf.clone());
         for i in 0..data.len() {
             let x = data.sample(i).0;
-            assert_eq!(fw_mlp.predict(x), mlp.predict(x));
-            assert_eq!(fw_rf.predict(x), rf.predict(x));
-            let (d, _) = fw_rf.predict_counted(x);
+            assert_eq!(fw_mlp.predict(x).unwrap(), mlp.predict(x));
+            assert_eq!(fw_rf.predict(x).unwrap(), rf.predict(x));
+            let (d, _) = fw_rf.predict_counted(x).unwrap();
             assert_eq!(d, rf.predict(x));
         }
+    }
+
+    #[test]
+    fn wrong_dimensionality_is_a_typed_error_not_a_panic() {
+        let data = dataset(200, 12, 2);
+        let mlp = FirmwareModel::Mlp(Mlp::fit(&MlpConfig::best_mlp(), &data, 2));
+        let lr = FirmwareModel::Logistic(LogisticRegression::fit(&data, 1e-4, 50));
+        for fw in [&mlp, &lr] {
+            assert_eq!(fw.input_dim(), Some(12));
+            for bad in [vec![0.0; 3], vec![0.0; 13], Vec::new()] {
+                let err = fw.predict(&bad).unwrap_err();
+                assert_eq!(
+                    err,
+                    FirmwareError::DimensionMismatch {
+                        expected: 12,
+                        got: bad.len()
+                    }
+                );
+                assert!(fw.score(&bad).is_err());
+                assert!(fw.predict_counted(&bad).is_err());
+            }
+            assert!(fw.predict(&[0.0; 12]).is_ok());
+        }
+    }
+
+    #[test]
+    fn validate_rejects_non_finite_weights() {
+        let good =
+            FirmwareModel::Logistic(LogisticRegression::from_parts(vec![1.0, -2.0], 0.5, 0.5));
+        assert!(good.validate().is_ok());
+        let bad = FirmwareModel::Logistic(LogisticRegression::from_parts(
+            vec![1.0, f64::NAN],
+            0.5,
+            0.5,
+        ));
+        assert_eq!(
+            bad.validate().unwrap_err(),
+            FirmwareError::NonFiniteParameter("logistic weight")
+        );
+        let bad_bias = FirmwareModel::Logistic(LogisticRegression::from_parts(
+            vec![1.0, 2.0],
+            f64::INFINITY,
+            0.5,
+        ));
+        assert!(bad_bias.validate().is_err());
+        let data = dataset(200, 8, 3);
+        let mlp = FirmwareModel::Mlp(Mlp::fit(&MlpConfig::best_mlp(), &data, 4));
+        assert!(mlp.validate().is_ok());
     }
 
     #[test]
@@ -264,8 +462,8 @@ mod tests {
     fn forest_cost_is_input_independent() {
         let data = dataset(300, 12, 6);
         let rf = FirmwareModel::Forest(RandomForest::fit(&RandomForestConfig::best_rf(), &data, 2));
-        let (_, a) = rf.predict_counted(&[0.0; 12]);
-        let (_, b) = rf.predict_counted(&[1.0; 12]);
+        let (_, a) = rf.predict_counted(&[0.0; 12]).unwrap();
+        let (_, b) = rf.predict_counted(&[1.0; 12]).unwrap();
         assert_eq!(a.total(), b.total(), "padded trees must cost the same");
     }
 
@@ -308,6 +506,6 @@ mod tests {
         let fw = FirmwareModel::SvmEnsemble(ens.clone());
         let x = vec![0.9; 4];
         let votes = ens.iter().filter(|s| s.predict(&x)).count();
-        assert_eq!(fw.predict(&x), 2 * votes > 5);
+        assert_eq!(fw.predict(&x).unwrap(), 2 * votes > 5);
     }
 }

@@ -9,9 +9,15 @@
 //!
 //! Layout: magic `PSCA`, format version, model tag, decision threshold,
 //! then a per-class payload (layer shapes + weights for MLPs, node arrays
-//! for forests, coefficients for logistic regression).
+//! for forests, coefficients for logistic regression). Version 2 appends
+//! a little-endian CRC-32 of everything before it, so bit flips in
+//! transit are detected before the payload is even parsed; version-1
+//! images (no checksum) remain readable. Decoding also runs
+//! [`FirmwareModel::validate`], rejecting images whose weights are NaN
+//! or infinite — the "validated firmware images" rung of the robustness
+//! story (docs/ROBUSTNESS.md).
 
-use crate::firmware::FirmwareModel;
+use crate::firmware::{FirmwareError, FirmwareModel};
 use psca_ml::{DecisionTree, LogisticRegression, Matrix, Mlp, Node, RandomForest};
 use std::fmt;
 
@@ -27,6 +33,10 @@ pub enum ImageError {
     BadVersion(u8),
     /// The byte stream ended prematurely or a field is out of range.
     Corrupt(&'static str),
+    /// The CRC-32 trailer does not match the image contents.
+    ChecksumMismatch,
+    /// The payload parsed but the model failed weight-sanity validation.
+    InvalidModel(FirmwareError),
 }
 
 impl fmt::Display for ImageError {
@@ -38,6 +48,8 @@ impl fmt::Display for ImageError {
             ImageError::BadMagic => f.write_str("not a PSCA firmware image"),
             ImageError::BadVersion(v) => write!(f, "unsupported image version {v}"),
             ImageError::Corrupt(what) => write!(f, "corrupt firmware image: {what}"),
+            ImageError::ChecksumMismatch => f.write_str("firmware image checksum mismatch"),
+            ImageError::InvalidModel(e) => write!(f, "firmware image failed validation: {e}"),
         }
     }
 }
@@ -45,7 +57,24 @@ impl fmt::Display for ImageError {
 impl std::error::Error for ImageError {}
 
 const MAGIC: &[u8; 4] = b"PSCA";
-const VERSION: u8 = 1;
+/// Current format version: payload followed by a CRC-32 trailer.
+const VERSION: u8 = 2;
+/// Legacy version without a checksum trailer; still decodable.
+const VERSION_NO_CRC: u8 = 1;
+
+/// Bitwise CRC-32 (IEEE 802.3 polynomial, reflected). Hand-rolled so the
+/// image format stays dependency-free.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
 
 const TAG_MLP: u8 = 0;
 const TAG_FOREST: u8 = 1;
@@ -176,6 +205,8 @@ pub fn encode(model: &FirmwareModel) -> Result<Vec<u8>, ImageError> {
             return Err(ImageError::Unsupported("gradient-boosted trees"));
         }
     }
+    let crc = crc32(&w.0);
+    w.u32(crc);
     Ok(w.0)
 }
 
@@ -185,14 +216,28 @@ pub fn encode(model: &FirmwareModel) -> Result<Vec<u8>, ImageError> {
 /// Returns a descriptive [`ImageError`] for malformed inputs; decoding
 /// never panics on untrusted bytes.
 pub fn decode(bytes: &[u8]) -> Result<FirmwareModel, ImageError> {
-    let mut r = Reader { data: bytes, at: 0 };
-    if r.take(4)? != MAGIC {
+    let mut header = Reader { data: bytes, at: 0 };
+    if header.take(4)? != MAGIC {
         return Err(ImageError::BadMagic);
     }
-    let version = r.u8()?;
-    if version != VERSION {
-        return Err(ImageError::BadVersion(version));
-    }
+    let version = header.u8()?;
+    let body = match version {
+        VERSION_NO_CRC => bytes,
+        VERSION => {
+            // The last four bytes are a little-endian CRC-32 of the rest.
+            if bytes.len() < 9 {
+                return Err(ImageError::Corrupt("unexpected end of image"));
+            }
+            let (payload, trailer) = bytes.split_at(bytes.len() - 4);
+            let stored = u32::from_le_bytes(trailer.try_into().unwrap());
+            if crc32(payload) != stored {
+                return Err(ImageError::ChecksumMismatch);
+            }
+            payload
+        }
+        v => return Err(ImageError::BadVersion(v)),
+    };
+    let mut r = Reader { data: body, at: 5 };
     let tag = r.u8()?;
     let threshold = r.f64()?;
     if !(0.0..=1.0).contains(&threshold) {
@@ -293,6 +338,10 @@ pub fn decode(bytes: &[u8]) -> Result<FirmwareModel, ImageError> {
     if !r.done() {
         return Err(ImageError::Corrupt("trailing bytes"));
     }
+    // Weight-sanity check at load: a checksum proves the bytes arrived
+    // intact, not that the encoded weights were sane to begin with.
+    model.validate().map_err(ImageError::InvalidModel)?;
+    psca_obs::counter("uc.image.loaded").inc();
     Ok(model)
 }
 
@@ -319,8 +368,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         for _ in 0..200 {
             let x: Vec<f64> = (0..d).map(|_| rng.gen::<f64>() * 4.0 - 2.0).collect();
-            assert_eq!(model.predict(&x), back.predict(&x));
-            assert!((model.score(&x) - back.score(&x)).abs() < 1e-12);
+            assert_eq!(model.predict(&x).unwrap(), back.predict(&x).unwrap());
+            assert!((model.score(&x).unwrap() - back.score(&x).unwrap()).abs() < 1e-12);
         }
     }
 
@@ -370,9 +419,53 @@ mod tests {
         )))
         .unwrap();
         truncated.pop();
+        // Truncation shifts the CRC trailer, so it reads as a checksum
+        // failure (or as truncation if the image becomes too short).
         assert!(matches!(
             decode(&truncated).unwrap_err(),
-            ImageError::Corrupt(_)
+            ImageError::Corrupt(_) | ImageError::ChecksumMismatch
+        ));
+    }
+
+    #[test]
+    fn checksum_catches_payload_bit_flips() {
+        let data = dataset(200, 8);
+        let lr = LogisticRegression::fit(&data, 1e-4, 100);
+        let image = encode(&FirmwareModel::Logistic(lr)).unwrap();
+        // Flip one bit in every payload byte position past the header;
+        // the CRC trailer must catch each one.
+        for idx in 6..image.len() - 4 {
+            let mut corrupted = image.clone();
+            corrupted[idx] ^= 0x10;
+            assert_eq!(
+                decode(&corrupted).unwrap_err(),
+                ImageError::ChecksumMismatch,
+                "flip at byte {idx} must be caught"
+            );
+        }
+    }
+
+    #[test]
+    fn legacy_v1_images_without_checksum_still_decode() {
+        let lr = LogisticRegression::from_parts(vec![1.0, -0.5], 0.25, 0.5);
+        let model = FirmwareModel::Logistic(lr);
+        let mut v1 = encode(&model).unwrap();
+        v1.truncate(v1.len() - 4); // strip the CRC trailer
+        v1[4] = 1; // mark as the pre-checksum format
+        let back = decode(&v1).unwrap();
+        let x = [0.3, 0.7];
+        assert_eq!(model.predict(&x).unwrap(), back.predict(&x).unwrap());
+    }
+
+    #[test]
+    fn nan_weights_are_rejected_at_load() {
+        let lr = LogisticRegression::from_parts(vec![1.0, f64::NAN], 0.0, 0.5);
+        let image = encode(&FirmwareModel::Logistic(lr)).unwrap();
+        // The image is well-formed (checksum valid) but the weights are
+        // garbage: load-time validation must reject it.
+        assert!(matches!(
+            decode(&image).unwrap_err(),
+            ImageError::InvalidModel(crate::FirmwareError::NonFiniteParameter(_))
         ));
     }
 

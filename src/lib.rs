@@ -16,6 +16,8 @@
 //! - [`uc`] — microcontroller budget model and op-counted firmware inference
 //! - [`adapt`] — the paper's contribution: SLA metrics, blindspot-mitigating
 //!   training, the adaptive closed loop, and every experiment in §5–§7
+//! - [`faults`] — deterministic fault injection for the chaos harness and
+//!   the graceful-degradation ladder (`docs/ROBUSTNESS.md`)
 //!
 //! # Example
 //!
@@ -35,6 +37,7 @@
 
 pub use psca_adapt as adapt;
 pub use psca_cpu as cpu;
+pub use psca_faults as faults;
 pub use psca_ml as ml;
 pub use psca_telemetry as telemetry;
 pub use psca_trace as trace;

@@ -1,0 +1,207 @@
+//! Integration tests of the fault-injection + graceful-degradation story:
+//! the hardened closed loop must be bit-identical to the plain loop when
+//! faults are off, each fault class must land in its intended fallback
+//! tier, and probation must return control to the model.
+
+use std::sync::OnceLock;
+
+use psca::adapt::degrade::{DegradeConfig, DegradeLevel};
+use psca::adapt::{
+    collect_paired, record_trace, run_closed_loop, run_closed_loop_hardened, zoo, CorpusTelemetry,
+    ExperimentConfig, HardenedLoopResult, ModelKind, TrainedAdaptModel,
+};
+use psca::cpu::Mode;
+use psca::faults::{ChaosSpec, FaultInjector};
+use psca::trace::VecTrace;
+use psca::workloads::{Archetype, PhaseGenerator};
+
+fn model_and_cfg() -> &'static (TrainedAdaptModel, ExperimentConfig) {
+    static CACHE: OnceLock<(TrainedAdaptModel, ExperimentConfig)> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let mut traces = Vec::new();
+        for (i, a) in [
+            Archetype::DepChain,
+            Archetype::ScalarIlp,
+            Archetype::MemBound,
+            Archetype::Balanced,
+        ]
+        .iter()
+        .enumerate()
+        {
+            let mut gen = PhaseGenerator::new(a.center(), i as u64 + 30);
+            traces.push(collect_paired(&mut gen, 2_000, 24, 2_000, i as u32, "t", 1));
+        }
+        let corpus = CorpusTelemetry { traces };
+        let cfg = ExperimentConfig::quick();
+        let model = zoo::train(ModelKind::BestRf, &corpus, &cfg);
+        (model, cfg)
+    })
+}
+
+fn trace_for(arch: Archetype, seed: u64, windows: u64) -> (VecTrace, VecTrace) {
+    let (model, cfg) = model_and_cfg();
+    let mut gen = PhaseGenerator::new(arch.center(), seed);
+    record_trace(
+        &mut gen,
+        2_000,
+        windows * model.granularity_insts(cfg.interval_insts),
+    )
+}
+
+fn run_with_spec(spec: &str, arch: Archetype, seed: u64, windows: u64) -> HardenedLoopResult {
+    let (model, cfg) = model_and_cfg();
+    let (warm, window) = trace_for(arch, seed, windows);
+    let mut inj = FaultInjector::new(ChaosSpec::parse(spec).unwrap());
+    run_closed_loop_hardened(
+        model,
+        &warm,
+        &window,
+        cfg.interval_insts,
+        &mut inj,
+        DegradeConfig::default(),
+    )
+}
+
+/// The central regression gate: with the injector disabled, the hardened
+/// loop's result is bit-identical to the pre-existing plain loop on the
+/// same trace and seed.
+#[test]
+fn hardened_loop_without_faults_is_bit_identical() {
+    let (model, cfg) = model_and_cfg();
+    for (arch, seed) in [
+        (Archetype::DepChain, 55u64),
+        (Archetype::ScalarIlp, 78),
+        (Archetype::Balanced, 99),
+    ] {
+        let (warm, window) = trace_for(arch, seed, 24);
+        let base = run_closed_loop(model, &warm, &window, cfg.interval_insts);
+        let mut inj = FaultInjector::disabled();
+        let hardened = run_closed_loop_hardened(
+            model,
+            &warm,
+            &window,
+            cfg.interval_insts,
+            &mut inj,
+            DegradeConfig::default(),
+        );
+        assert_eq!(
+            base, hardened.result,
+            "{arch:?}/{seed}: fault-free hardened loop diverged from the plain loop"
+        );
+        assert!(base.energy.to_bits() == hardened.result.energy.to_bits());
+        assert_eq!(hardened.faults.total(), 0);
+        assert_eq!(hardened.degrade.transitions, 0);
+        assert_eq!(hardened.degrade.worst, DegradeLevel::ModelDriven);
+    }
+}
+
+/// Each fault class must land in its intended fallback tier, and probation
+/// must return the loop to model-driven gating once the burst ends.
+#[test]
+fn fault_classes_land_in_their_intended_tier() {
+    // (spec, worst tier the burst may reach)
+    let cases: [(&str, DegradeLevel); 4] = [
+        // Two dropped predictions: hold the last decision, nothing worse.
+        ("seed=9,burst=2,uc.drop=1.0", DegradeLevel::HoldLast),
+        // Two late predictions: a miss then a stale arrival, both held.
+        ("seed=9,burst=2,uc.late=1.0", DegradeLevel::HoldLast),
+        // Corrupted weights: the value cannot be trusted, heuristic only.
+        ("seed=9,burst=2,uc.nan=1.0", DegradeLevel::HeuristicOnly),
+        // Poisoned telemetry packet: non-finite features, heuristic only.
+        ("seed=9,burst=2,telem.nan=1.0", DegradeLevel::HeuristicOnly),
+    ];
+    for (spec, tier) in cases {
+        // 40 windows: the 2-window burst plus two 6-window probation
+        // periods still leaves a clear model-driven majority.
+        let res = run_with_spec(spec, Archetype::DepChain, 55, 40);
+        assert_eq!(
+            res.degrade.worst, tier,
+            "spec '{spec}': worst tier {:?}, wanted {tier:?}",
+            res.degrade.worst
+        );
+        assert!(
+            res.degrade.escalations > 0,
+            "spec '{spec}': ladder never engaged"
+        );
+        // Probation: the burst is over early, so the run must recover to
+        // model-driven gating and spend most windows there.
+        assert!(
+            res.degrade.recoveries > 0,
+            "spec '{spec}': never recovered a tier"
+        );
+        assert_eq!(
+            res.degrade.last,
+            DegradeLevel::ModelDriven,
+            "spec '{spec}': probation did not return control to the model"
+        );
+        assert!(
+            res.degrade.residency[0] > res.degrade.residency[1..].iter().sum::<u64>(),
+            "spec '{spec}': model-driven residency {:?}",
+            res.degrade.residency
+        );
+    }
+}
+
+/// A µC that never delivers a prediction walks the full ladder to pinned
+/// high-performance and the run still completes with sane accounting.
+#[test]
+fn sustained_prediction_loss_pins_high_perf() {
+    let res = run_with_spec("seed=3,uc.drop=1.0", Archetype::DepChain, 55, 24);
+    assert_eq!(res.degrade.worst, DegradeLevel::PinnedHighPerf);
+    assert!(res.result.energy.is_finite() && res.result.energy > 0.0);
+    // Pinned means the gateable workload is stuck in high-performance
+    // mode for most of the run.
+    assert!(
+        res.result.low_power_residency < 0.3,
+        "pinned run should barely gate: {}",
+        res.result.low_power_residency
+    );
+    assert!(res.degrade.residency[DegradeLevel::PinnedHighPerf.rank()] > 0);
+}
+
+/// Lost mode-switch requests leave the simulator in its current mode; a
+/// gateable workload therefore never leaves high-performance.
+#[test]
+fn lost_actuation_keeps_the_boot_mode() {
+    let res = run_with_spec("seed=5,act.lost=1.0", Archetype::DepChain, 55, 16);
+    assert!(res.result.modes.iter().all(|m| *m == Mode::HighPerf));
+    assert!(res.faults.act_lost > 0);
+    // Losing the actuation write is invisible to the prediction-health
+    // watchdog: the ladder must NOT engage for it.
+    assert_eq!(res.degrade.worst, DegradeLevel::ModelDriven);
+}
+
+/// Corrupted firmware images are always rejected by the checksum/validity
+/// gate, never silently loaded.
+#[test]
+fn corrupted_images_are_rejected() {
+    let res = run_with_spec("seed=11,uc.bitflip=1.0", Archetype::Balanced, 99, 16);
+    assert!(res.faults.uc_image_bitflip > 0);
+    assert_eq!(
+        res.images_rejected, res.faults.uc_image_bitflip,
+        "every corrupted image must be caught"
+    );
+}
+
+/// Chaos at the default rates: the loop completes, injects every class
+/// eventually, and keeps energy/instruction accounting finite.
+#[test]
+fn default_chaos_run_is_survivable() {
+    let (model, cfg) = model_and_cfg();
+    let (warm, window) = trace_for(Archetype::Balanced, 31, 32);
+    let mut spec = ChaosSpec::default_chaos();
+    spec.seed = 0xFA17;
+    let mut inj = FaultInjector::new(spec);
+    let res = run_closed_loop_hardened(
+        model,
+        &warm,
+        &window,
+        cfg.interval_insts,
+        &mut inj,
+        DegradeConfig::default(),
+    );
+    assert_eq!(res.result.modes.len(), 32);
+    assert!(res.result.energy.is_finite() && res.result.energy > 0.0);
+    assert_eq!(res.window_ipc.len(), res.result.modes.len());
+    assert!(res.window_ipc.iter().all(|v| v.is_finite() && *v > 0.0));
+}

@@ -77,6 +77,6 @@ fn charstar_firmware_also_roundtrips() {
         let x: Vec<f64> = (0..8)
             .map(|j| ((i * 7 + j * 13) % 19) as f64 / 19.0 - 0.5)
             .collect();
-        assert_eq!(model.fw_lo.predict(&x), back.predict(&x));
+        assert_eq!(model.fw_lo.predict(&x).unwrap(), back.predict(&x).unwrap());
     }
 }

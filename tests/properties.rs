@@ -1,6 +1,8 @@
 //! Property-based tests over core invariants, spanning crates.
 
 use proptest::prelude::*;
+use psca::adapt::guardrail::{Guardrail, GuardrailConfig};
+use psca::adapt::Sla;
 use psca::cpu::{Cache, ClusterSim, CpuConfig, Mode, Tlb};
 use psca::ml::metrics::{rate_of_sla_violations, Confusion};
 use psca::ml::{Dataset, Matrix, RandomForest, RandomForestConfig};
@@ -160,6 +162,85 @@ proptest! {
             count += 1;
         }
         prop_assert_eq!(count, n.min(cap));
+    }
+
+    /// Guardrail: a trip's forced-high-performance stretch never exceeds
+    /// the configured cooldown, for any honest decision-driven caller and
+    /// any IPC stream.
+    #[test]
+    fn guardrail_cooldown_is_bounded(
+        trip_after in 1usize..4,
+        cooldown in 1usize..8,
+        probe_period in 2usize..12,
+        ipcs in prop::collection::vec(0.01f64..8.0, 1..120),
+    ) {
+        let cfg = GuardrailConfig { trip_after, cooldown, alpha: 0.5, probe_period };
+        let mut g = Guardrail::new(cfg, Sla::paper_default());
+        // Honest caller: the vetted decision dictates whether the next
+        // observed window ran gated.
+        let mut gated = false;
+        let mut forced_streak = 0usize;
+        for &ipc in &ipcs {
+            prop_assert!(g.cooldown_remaining() <= cooldown);
+            let was_cooling = g.in_cooldown();
+            let d = g.vet(gated, ipc, true);
+            if was_cooling {
+                prop_assert!(!d, "cooldown must force high-performance");
+                forced_streak += 1;
+                prop_assert!(forced_streak <= cooldown, "cooldown overran: {forced_streak}");
+            } else {
+                forced_streak = 0;
+            }
+            gated = d;
+        }
+    }
+
+    /// Guardrail: with the SLA always met, probes fire exactly every
+    /// `probe_period` gated windows — no trips, no drift in cadence.
+    #[test]
+    fn guardrail_probe_cadence_is_exact(
+        probe_period in 2usize..12,
+        n in 30usize..120,
+    ) {
+        let cfg = GuardrailConfig { probe_period, ..GuardrailConfig::default() };
+        let mut g = Guardrail::new(cfg, Sla::paper_default());
+        let mut gated = false;
+        let mut probe_at = Vec::new();
+        for t in 0..n {
+            // IPC equal to the reference: gated windows always meet the
+            // SLA, so every forced-high window is a probe.
+            let d = g.vet(gated, 4.0, true);
+            if !d {
+                probe_at.push(t);
+            }
+            gated = d;
+        }
+        prop_assert_eq!(g.trips(), 0);
+        prop_assert_eq!(probe_at.len(), g.probes());
+        // One ungated window precedes each streak, so consecutive probes
+        // are exactly probe_period + 1 windows apart.
+        for w in probe_at.windows(2) {
+            prop_assert_eq!(w[1] - w[0], probe_period + 1);
+        }
+    }
+
+    /// Guardrail: trip and probe counts are monotone non-decreasing and
+    /// bounded by the number of observed windows, for any input stream.
+    #[test]
+    fn guardrail_counts_monotone(
+        inputs in prop::collection::vec((any::<bool>(), 0.01f64..8.0, any::<bool>()), 1..150),
+    ) {
+        let mut g = Guardrail::new(GuardrailConfig::default(), Sla::paper_default());
+        let mut prev_trips = 0;
+        let mut prev_probes = 0;
+        for &(gated, ipc, wants) in &inputs {
+            let _ = g.vet(gated, ipc, wants);
+            prop_assert!(g.trips() >= prev_trips);
+            prop_assert!(g.probes() >= prev_probes);
+            prev_trips = g.trips();
+            prev_probes = g.probes();
+        }
+        prop_assert!(g.trips() + g.probes() <= inputs.len());
     }
 
     /// The phase generator always produces well-formed instructions with
