@@ -44,6 +44,14 @@ pub struct ExperimentConfig {
     /// `P_SLA + guard` so deployed decisions carry slack against
     /// borderline intervals (evaluation always uses the contractual SLA).
     pub label_guard_band: f64,
+    /// Worker threads for parallel sweeps (`psca-exec`). `0` = auto
+    /// (`PSCA_JOBS` or `available_parallelism`). Results are bit-identical
+    /// regardless of the value — cells carry their own seeds and merge in
+    /// cell order.
+    pub jobs: usize,
+    /// Persistent sweep result cache directory, `None` to disable.
+    /// Repeated `repro` invocations skip already-simulated corpus cells.
+    pub sweep_cache: Option<std::path::PathBuf>,
 }
 
 impl ExperimentConfig {
@@ -66,6 +74,8 @@ impl ExperimentConfig {
             srch_coarse_intervals: 16,
             folds: 32,
             label_guard_band: 0.02,
+            jobs: 0,
+            sweep_cache: Some(psca_exec::SweepCache::default_dir()),
         }
     }
 
@@ -87,6 +97,11 @@ impl ExperimentConfig {
             srch_coarse_intervals: 8,
             folds: 8,
             label_guard_band: 0.02,
+            // Tests default to serial + uncached: bit-identity with
+            // parallel runs is asserted by dedicated regression tests,
+            // and unit tests must not touch a shared on-disk cache.
+            jobs: 1,
+            sweep_cache: None,
         }
     }
 

@@ -86,6 +86,14 @@ pub fn run_closed_loop(
     let mut cycles = 0u64;
     let mut instructions = 0u64;
     let mut low_windows = 0usize;
+    // Window scratch, reused across windows so the hot loop allocates only
+    // while the buffers first grow to the window size.
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(g);
+    let mut row_cycles: Vec<u64> = Vec::with_capacity(g);
+    // Metric handles resolved once, not per window.
+    let windows_ctr = psca_obs::counter("adapt.windows");
+    let gated_ctr = psca_obs::counter("adapt.windows_gated_low");
+    let gated_series = psca_obs::series_handle("adapt.window.gated");
 
     let mut widx = 0usize;
     'outer: loop {
@@ -95,8 +103,8 @@ pub fn run_closed_loop(
         }
         let window_mode = sim.mode();
         // Run the window's base intervals, collecting telemetry rows.
-        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(g);
-        let mut row_cycles: Vec<u64> = Vec::with_capacity(g);
+        row_cycles.clear();
+        let mut filled = 0usize;
         for _ in 0..g {
             let Some(r) = sim.run_interval(&mut replay, interval_insts) else {
                 break 'outer;
@@ -104,19 +112,25 @@ pub fn run_closed_loop(
             energy += r.energy;
             cycles += r.snapshot.cycles;
             instructions += r.instructions;
-            rows.push(r.snapshot.as_slice().to_vec());
+            if filled == rows.len() {
+                rows.push(r.snapshot.as_slice().to_vec());
+            } else {
+                rows[filled].clear();
+                rows[filled].extend_from_slice(r.snapshot.as_slice());
+            }
+            filled += 1;
             row_cycles.push(r.snapshot.cycles);
         }
-        if rows.len() < g {
+        if filled < g {
             break;
         }
         modes.push(window_mode);
-        psca_obs::counter("adapt.windows").inc();
+        windows_ctr.inc();
         if window_mode == Mode::LowPower {
             low_windows += 1;
-            psca_obs::counter("adapt.windows_gated_low").inc();
+            gated_ctr.inc();
         }
-        psca_obs::series("adapt.window.gated").push(if window_mode == Mode::LowPower {
+        gated_series.push(if window_mode == Mode::LowPower {
             1.0
         } else {
             0.0
@@ -230,6 +244,13 @@ pub fn run_closed_loop_hardened(
     let mut last_good_gate = false;
     let mut window_ipc = Vec::new();
     let mut images_rejected = 0u64;
+    // Window scratch + metric handles, hoisted exactly as in
+    // [`run_closed_loop`].
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(g);
+    let mut row_cycles: Vec<u64> = Vec::with_capacity(g);
+    let windows_ctr = psca_obs::counter("adapt.windows");
+    let gated_ctr = psca_obs::counter("adapt.windows_gated_low");
+    let gated_series = psca_obs::series_handle("adapt.window.gated");
 
     let mut widx = 0usize;
     'outer: loop {
@@ -270,8 +291,8 @@ pub fn run_closed_loop_hardened(
         }
         let window_mode = sim.mode();
         // Run the window's base intervals, collecting telemetry rows.
-        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(g);
-        let mut row_cycles: Vec<u64> = Vec::with_capacity(g);
+        row_cycles.clear();
+        let mut filled = 0usize;
         let mut w_cycles = 0u64;
         let mut w_insts = 0u64;
         for _ in 0..g {
@@ -283,19 +304,25 @@ pub fn run_closed_loop_hardened(
             instructions += r.instructions;
             w_cycles += r.snapshot.cycles;
             w_insts += r.instructions;
-            rows.push(r.snapshot.as_slice().to_vec());
+            if filled == rows.len() {
+                rows.push(r.snapshot.as_slice().to_vec());
+            } else {
+                rows[filled].clear();
+                rows[filled].extend_from_slice(r.snapshot.as_slice());
+            }
+            filled += 1;
             row_cycles.push(r.snapshot.cycles);
         }
-        if rows.len() < g {
+        if filled < g {
             break;
         }
         modes.push(window_mode);
-        psca_obs::counter("adapt.windows").inc();
+        windows_ctr.inc();
         if window_mode == Mode::LowPower {
             low_windows += 1;
-            psca_obs::counter("adapt.windows_gated_low").inc();
+            gated_ctr.inc();
         }
-        psca_obs::series("adapt.window.gated").push(if window_mode == Mode::LowPower {
+        gated_series.push(if window_mode == Mode::LowPower {
             1.0
         } else {
             0.0

@@ -95,13 +95,14 @@ pub fn chaos_sweep(cfg: &ExperimentConfig, spec: &ChaosSpec) -> ChaosSweep {
     let _span = psca_obs::SpanTimer::start("chaos.sweep");
     // Small dedicated corpus + the paper's best forest, as in the
     // closed-loop tests: the sweep measures robustness, not model quality.
-    let mut traces = Vec::new();
-    for (i, a) in ARCHETYPES.iter().enumerate() {
-        let mut gen = PhaseGenerator::new(a.center(), i as u64 + 30);
-        traces.push(crate::paired::collect_paired(
-            &mut gen, 2_000, 24, 2_000, i as u32, "chaos", 1,
-        ));
-    }
+    // Each archetype's trace collection is an independent sweep cell.
+    let traces = psca_exec::Sweep::new("chaos.corpus").jobs(cfg.jobs).run(
+        (0..ARCHETYPES.len()).collect(),
+        |&i| {
+            let mut gen = PhaseGenerator::new(ARCHETYPES[i].center(), i as u64 + 30);
+            crate::paired::collect_paired(&mut gen, 2_000, 24, 2_000, i as u32, "chaos", 1)
+        },
+    );
     let corpus = crate::paired::CorpusTelemetry { traces };
     let model = zoo::train(ModelKind::BestRf, &corpus, cfg);
     let g = model.granularity;
@@ -109,29 +110,45 @@ pub fn chaos_sweep(cfg: &ExperimentConfig, spec: &ChaosSpec) -> ChaosSweep {
 
     // Fixed per-archetype traces and their static hi-mode IPC reference.
     let sla = Sla::paper_default();
-    let mut runs = Vec::new();
-    for (i, a) in ARCHETYPES.iter().enumerate() {
-        let mut gen = PhaseGenerator::new(a.center(), cfg.sub_seed("chaos") ^ (i as u64 + 101));
-        let (warm, window) = record_trace(&mut gen, 2_000, window_insts);
-        let refs = reference_ipc(&warm, &window, cfg.interval_insts, g);
-        runs.push((warm, window, refs));
-    }
+    let runs = psca_exec::Sweep::new("chaos.reference").jobs(cfg.jobs).run(
+        (0..ARCHETYPES.len()).collect(),
+        |&i| {
+            let mut gen = PhaseGenerator::new(
+                ARCHETYPES[i].center(),
+                cfg.sub_seed("chaos") ^ (i as u64 + 101),
+            );
+            let (warm, window) = record_trace(&mut gen, 2_000, window_insts);
+            let refs = reference_ipc(&warm, &window, cfg.interval_insts, g);
+            (warm, window, refs)
+        },
+    );
 
-    let mut points = Vec::new();
-    let mut fault_classes: Vec<(&'static str, u64)> = Vec::new();
-    let mut clean_ppw = 0.0;
-    for &scale in &SWEEP_SCALES {
-        let mut energy = 0.0;
-        let mut instructions = 0u64;
-        let mut windows = 0usize;
-        let mut low = 0usize;
-        let mut violations = 0usize;
-        let mut degraded = 0.0;
-        let mut worst = DegradeLevel::ModelDriven;
-        let mut transitions = 0u64;
-        let mut faults = 0u64;
-        let mut images_rejected = 0u64;
-        for (i, (warm, window, refs)) in runs.iter().enumerate() {
+    // The (scale × archetype) grid: every hardened run carries its own
+    // fault-injector seed, so cells are order-independent. Results merge
+    // per scale in archetype order, exactly as the serial loop did.
+    struct GridCell {
+        energy: f64,
+        instructions: u64,
+        windows: usize,
+        low: usize,
+        violations: usize,
+        degraded: f64,
+        worst: DegradeLevel,
+        transitions: u64,
+        faults: u64,
+        images_rejected: u64,
+        by_class: Vec<(&'static str, u64)>,
+    }
+    let cells: Vec<(usize, usize)> = SWEEP_SCALES
+        .iter()
+        .enumerate()
+        .flat_map(|(s, _)| (0..runs.len()).map(move |i| (s, i)))
+        .collect();
+    let grid = psca_exec::Sweep::new("chaos.grid")
+        .jobs(cfg.jobs)
+        .run(cells, |&(s, i)| {
+            let scale = SWEEP_SCALES[s];
+            let (warm, window, refs) = &runs[i];
             let mut point_spec = spec.scaled(scale);
             point_spec.seed = spec.seed ^ (i as u64);
             let mut inj = FaultInjector::new(point_spec);
@@ -143,15 +160,13 @@ pub fn chaos_sweep(cfg: &ExperimentConfig, spec: &ChaosSpec) -> ChaosSweep {
                 &mut inj,
                 DegradeConfig::default(),
             );
-            energy += res.result.energy;
-            instructions += res.result.instructions;
-            windows += res.result.modes.len();
-            low += res
+            let low = res
                 .result
                 .modes
                 .iter()
                 .filter(|m| **m == psca_cpu::Mode::LowPower)
                 .count();
+            let mut violations = 0usize;
             for ((mode, ipc), ref_ipc) in res
                 .result
                 .modes
@@ -163,16 +178,51 @@ pub fn chaos_sweep(cfg: &ExperimentConfig, spec: &ChaosSpec) -> ChaosSweep {
                     violations += 1;
                 }
             }
-            degraded += res.degrade.degraded_fraction();
-            worst = worst.max(res.degrade.worst);
-            transitions += res.degrade.transitions;
-            faults += res.faults.total();
-            images_rejected += res.images_rejected;
+            GridCell {
+                energy: res.result.energy,
+                instructions: res.result.instructions,
+                windows: res.result.modes.len(),
+                low,
+                violations,
+                degraded: res.degrade.degraded_fraction(),
+                worst: res.degrade.worst,
+                transitions: res.degrade.transitions,
+                faults: res.faults.total(),
+                images_rejected: res.images_rejected,
+                by_class: res.faults.by_class().to_vec(),
+            }
+        });
+
+    let mut points = Vec::new();
+    let mut fault_classes: Vec<(&'static str, u64)> = Vec::new();
+    let mut clean_ppw = 0.0;
+    for (s, &scale) in SWEEP_SCALES.iter().enumerate() {
+        let mut energy = 0.0;
+        let mut instructions = 0u64;
+        let mut windows = 0usize;
+        let mut low = 0usize;
+        let mut violations = 0usize;
+        let mut degraded = 0.0;
+        let mut worst = DegradeLevel::ModelDriven;
+        let mut transitions = 0u64;
+        let mut faults = 0u64;
+        let mut images_rejected = 0u64;
+        for cell in &grid[s * runs.len()..(s + 1) * runs.len()] {
+            energy += cell.energy;
+            instructions += cell.instructions;
+            windows += cell.windows;
+            low += cell.low;
+            violations += cell.violations;
+            degraded += cell.degraded;
+            worst = worst.max(cell.worst);
+            transitions += cell.transitions;
+            faults += cell.faults;
+            images_rejected += cell.images_rejected;
             if (scale - 1.0).abs() < 1e-12 {
                 if fault_classes.is_empty() {
-                    fault_classes = res.faults.by_class().to_vec();
+                    fault_classes = cell.by_class.clone();
                 } else {
-                    for (acc, (_, n)) in fault_classes.iter_mut().zip(res.faults.by_class()) {
+                    for (acc, (_, n)) in fault_classes.iter_mut().zip(cell.by_class.iter()) {
                         acc.1 += n;
                     }
                 }

@@ -212,16 +212,15 @@ fn emulate_trace(
         acc.windows += 1;
         i = end;
     }
+    // Counters are commutative (relaxed atomics), so they may be bumped
+    // from whichever worker thread emulates this trace. The order-sensitive
+    // accuracy *series* is pushed by the caller in corpus order.
     psca_obs::counter("adapt.sla.violations").add(acc.violations as u64);
     psca_obs::counter("adapt.eval.windows").add(acc.windows as u64);
     psca_obs::counter("adapt.windows").add(acc.total_windows as u64);
     psca_obs::counter("adapt.windows_gated_low").add(acc.low_windows as u64);
     psca_obs::counter("adapt.mispredictions").add(c.fp + c.fn_);
     psca_obs::counter("adapt.predictions").add(c.tp + c.fp + c.tn + c.fn_);
-    let preds = c.tp + c.fp + c.tn + c.fn_;
-    if preds > 0 {
-        psca_obs::series("adapt.eval.accuracy").push((c.tp + c.tn) as f64 / preds as f64);
-    }
     acc
 }
 
@@ -243,10 +242,22 @@ pub fn evaluate_with_guardrail(
     cfg: &ExperimentConfig,
     guardrail: Option<crate::guardrail::GuardrailConfig>,
 ) -> PerAppEvaluation {
+    // Traces are independent: fan the emulation across the worker pool and
+    // merge strictly in corpus order so the result (and every order-
+    // sensitive metric) is bit-identical to a serial run.
+    let sweep = psca_exec::Sweep::new("adapt.eval").jobs(cfg.jobs);
+    let accs = sweep.run(corpus.traces.iter().collect(), |trace| {
+        emulate_trace(model, trace, cfg, guardrail)
+    });
+    let accuracy = psca_obs::series_handle("adapt.eval.accuracy");
     let mut per_app: Vec<(String, Accumulator)> = Vec::new();
     let mut overall = Accumulator::default();
-    for trace in &corpus.traces {
-        let acc = emulate_trace(model, trace, cfg, guardrail);
+    for (trace, acc) in corpus.traces.iter().zip(accs) {
+        let c = &acc.confusion;
+        let preds = c.tp + c.fp + c.tn + c.fn_;
+        if preds > 0 {
+            accuracy.push((c.tp + c.tn) as f64 / preds as f64);
+        }
         overall.merge(&acc);
         match per_app.iter_mut().find(|(n, _)| *n == trace.app_name) {
             Some((_, slot)) => slot.merge(&acc),

@@ -83,167 +83,178 @@ pub fn run(cfg: &ExperimentConfig, hdtr: &CorpusTelemetry) -> Table3 {
         Confusion::from_predictions(val.labels(), &preds).pgos()
     };
     let seed = cfg.sub_seed("table3-models");
-    let mut models = Vec::new();
 
-    let mlp_big = FirmwareModel::Mlp(Mlp::fit(
-        &MlpConfig {
-            hidden: vec![32, 32, 16],
-            ..MlpConfig::default()
-        },
-        &tune,
-        seed,
-    ));
-    models.push(row(
-        &mlp_big,
-        "MLP 3 layers, 32/32/16 filters, ReLU",
-        12,
-        &val,
-        6_162,
-        0.8138,
-        &pgos_of,
-    ));
-
-    let tree16 = FirmwareModel::Forest({
-        let mut rf = RandomForest::fit(
-            &RandomForestConfig {
-                num_trees: 1,
-                max_depth: 16,
-                min_leaf: 1,
-            },
-            &tune,
-            seed ^ 1,
-        );
-        rf.set_threshold(0.5);
-        rf
-    });
-    models.push(row(
-        &tree16,
-        "Decision Tree, max depth 16",
-        12,
-        &val,
-        133,
-        0.7778,
-        &pgos_of,
-    ));
-
-    // The χ² kernel assumes non-negative (histogram-like) inputs, so it
-    // consumes the raw per-cycle counters rather than standardized ones.
-    let chi2 = FirmwareModel::Chi2Svm(KernelSvm::fit_chi2(
-        &tune_raw,
-        1e-4,
-        (tune_raw.len() * 4).min(12_000),
-        1_000,
-        seed ^ 2,
-    ));
-    models.push(row(
-        &chi2,
-        "SVM, chi^2 kernel, <=1000 SVs",
-        12,
-        &val_raw,
-        121_000,
-        0.6754,
-        &pgos_of,
-    ));
-
-    let rf16 = FirmwareModel::Forest(RandomForest::fit(
-        &RandomForestConfig {
-            num_trees: 16,
-            max_depth: 8,
-            min_leaf: 2,
-        },
-        &tune,
-        seed ^ 3,
-    ));
-    models.push(row(
-        &rf16,
-        "Random Forest, 16 trees, depth 8",
-        12,
-        &val,
-        1_074,
-        0.6667,
-        &pgos_of,
-    ));
-
-    let rf8 = FirmwareModel::Forest(RandomForest::fit(
-        &RandomForestConfig::best_rf(),
-        &tune,
-        seed ^ 4,
-    ));
-    models.push(row(
-        &rf8,
-        "Random Forest, 8 trees, depth 8",
-        12,
-        &val,
-        538,
-        0.6568,
-        &pgos_of,
-    ));
-
-    let mlp_small = FirmwareModel::Mlp(Mlp::fit(&MlpConfig::best_mlp(), &tune, seed ^ 5));
-    models.push(row(
-        &mlp_small,
-        "MLP 3 layers, 8/8/4 filters, ReLU",
-        12,
-        &val,
-        678,
-        0.6099,
-        &pgos_of,
-    ));
-
-    let mlp_ravi = FirmwareModel::Mlp(Mlp::fit(&MlpConfig::charstar(), &tune8, seed ^ 6));
-    models.push(row(
-        &mlp_ravi,
-        "MLP 1 layer, 10 filters (Ravi et al.)",
-        8,
-        &val8,
-        292,
-        0.5790,
-        &pgos_of,
-    ));
-
-    let svm_ens = FirmwareModel::SvmEnsemble(LinearSvm::fit_ensemble(
-        &tune,
-        5,
-        1e-3,
-        (tune.len() * 8).min(20_000),
-        seed ^ 7,
-    ));
-    models.push(row(
-        &svm_ens,
-        "SVM, linear kernel, 5-ensemble",
-        12,
-        &val,
-        412,
-        0.5450,
-        &pgos_of,
-    ));
-
-    let lr = FirmwareModel::Logistic(LogisticRegression::fit(&tune, 1e-4, 150));
-    models.push(row(
-        &lr,
-        "Logistic Regression",
-        12,
-        &val,
-        158,
-        0.3833,
-        &pgos_of,
-    ));
-
-    // Extension beyond the paper's zoo: gradient-boosted trees share the
-    // forest's branch-free firmware kernel at lower depth.
-    let gbdt = FirmwareModel::Gbdt(psca_ml::gbdt::Gbdt::fit(
-        &psca_ml::gbdt::GbdtConfig::default(),
-        &tune,
-    ));
-    models.push(row(
-        &gbdt,
-        "Gradient Boosted Trees 8x4 (extension)",
-        12,
-        &val,
-        0,
-        0.0,
-        &pgos_of,
-    ));
+    // Each model class is an independent training cell: it carries its own
+    // derived seed, so the pool can train the zoo concurrently while the
+    // result vector keeps the original push order.
+    type ModelCell<'a> = Box<dyn Fn() -> ModelRow + Send + Sync + 'a>;
+    let cells: Vec<ModelCell> = vec![
+        Box::new(|| {
+            let fw = FirmwareModel::Mlp(Mlp::fit(
+                &MlpConfig {
+                    hidden: vec![32, 32, 16],
+                    ..MlpConfig::default()
+                },
+                &tune,
+                seed,
+            ));
+            row(
+                &fw,
+                "MLP 3 layers, 32/32/16 filters, ReLU",
+                12,
+                &val,
+                6_162,
+                0.8138,
+                &pgos_of,
+            )
+        }),
+        Box::new(|| {
+            let fw = FirmwareModel::Forest({
+                let mut rf = RandomForest::fit(
+                    &RandomForestConfig {
+                        num_trees: 1,
+                        max_depth: 16,
+                        min_leaf: 1,
+                    },
+                    &tune,
+                    seed ^ 1,
+                );
+                rf.set_threshold(0.5);
+                rf
+            });
+            row(
+                &fw,
+                "Decision Tree, max depth 16",
+                12,
+                &val,
+                133,
+                0.7778,
+                &pgos_of,
+            )
+        }),
+        // The χ² kernel assumes non-negative (histogram-like) inputs, so it
+        // consumes the raw per-cycle counters rather than standardized ones.
+        Box::new(|| {
+            let fw = FirmwareModel::Chi2Svm(KernelSvm::fit_chi2(
+                &tune_raw,
+                1e-4,
+                (tune_raw.len() * 4).min(12_000),
+                1_000,
+                seed ^ 2,
+            ));
+            row(
+                &fw,
+                "SVM, chi^2 kernel, <=1000 SVs",
+                12,
+                &val_raw,
+                121_000,
+                0.6754,
+                &pgos_of,
+            )
+        }),
+        Box::new(|| {
+            let fw = FirmwareModel::Forest(RandomForest::fit(
+                &RandomForestConfig {
+                    num_trees: 16,
+                    max_depth: 8,
+                    min_leaf: 2,
+                },
+                &tune,
+                seed ^ 3,
+            ));
+            row(
+                &fw,
+                "Random Forest, 16 trees, depth 8",
+                12,
+                &val,
+                1_074,
+                0.6667,
+                &pgos_of,
+            )
+        }),
+        Box::new(|| {
+            let fw = FirmwareModel::Forest(RandomForest::fit(
+                &RandomForestConfig::best_rf(),
+                &tune,
+                seed ^ 4,
+            ));
+            row(
+                &fw,
+                "Random Forest, 8 trees, depth 8",
+                12,
+                &val,
+                538,
+                0.6568,
+                &pgos_of,
+            )
+        }),
+        Box::new(|| {
+            let fw = FirmwareModel::Mlp(Mlp::fit(&MlpConfig::best_mlp(), &tune, seed ^ 5));
+            row(
+                &fw,
+                "MLP 3 layers, 8/8/4 filters, ReLU",
+                12,
+                &val,
+                678,
+                0.6099,
+                &pgos_of,
+            )
+        }),
+        Box::new(|| {
+            let fw = FirmwareModel::Mlp(Mlp::fit(&MlpConfig::charstar(), &tune8, seed ^ 6));
+            row(
+                &fw,
+                "MLP 1 layer, 10 filters (Ravi et al.)",
+                8,
+                &val8,
+                292,
+                0.5790,
+                &pgos_of,
+            )
+        }),
+        Box::new(|| {
+            let fw = FirmwareModel::SvmEnsemble(LinearSvm::fit_ensemble(
+                &tune,
+                5,
+                1e-3,
+                (tune.len() * 8).min(20_000),
+                seed ^ 7,
+            ));
+            row(
+                &fw,
+                "SVM, linear kernel, 5-ensemble",
+                12,
+                &val,
+                412,
+                0.5450,
+                &pgos_of,
+            )
+        }),
+        Box::new(|| {
+            let fw = FirmwareModel::Logistic(LogisticRegression::fit(&tune, 1e-4, 150));
+            row(&fw, "Logistic Regression", 12, &val, 158, 0.3833, &pgos_of)
+        }),
+        // Extension beyond the paper's zoo: gradient-boosted trees share the
+        // forest's branch-free firmware kernel at lower depth.
+        Box::new(|| {
+            let fw = FirmwareModel::Gbdt(psca_ml::gbdt::Gbdt::fit(
+                &psca_ml::gbdt::GbdtConfig::default(),
+                &tune,
+            ));
+            row(
+                &fw,
+                "Gradient Boosted Trees 8x4 (extension)",
+                12,
+                &val,
+                0,
+                0.0,
+                &pgos_of,
+            )
+        }),
+    ];
+    let mut models = psca_exec::Sweep::new("table3.models")
+        .jobs(cfg.jobs)
+        .run(cells, |cell| cell());
 
     models.sort_by(|a, b| {
         b.pgos

@@ -10,9 +10,15 @@
 use crate::config::ExperimentConfig;
 use crate::sla::Sla;
 use psca_cpu::{ClusterSim, CpuConfig, Mode};
+use psca_exec::{Digest, Sweep};
 use psca_telemetry::{Event, NUM_EVENTS};
 use psca_trace::{TraceSource, VecTrace};
 use psca_workloads::{hdtr_corpus, spec};
+
+/// Bump whenever the simulator, workload synthesis, or the on-disk codec
+/// changes in a result-affecting way: stale `target/sweep-cache/` entries
+/// keyed under an older schema are then never read back.
+const CACHE_SCHEMA: u64 = 1;
 
 /// Paired per-interval telemetry of one trace.
 #[derive(Debug, Clone)]
@@ -243,13 +249,45 @@ impl CorpusTelemetry {
     }
 
     /// Synthesizes and simulates the HDTR training corpus.
+    ///
+    /// Each (application, input) pair is an independent sweep cell: the
+    /// grid fans across `cfg.jobs` workers (results bit-identical to a
+    /// serial run — the trace is fully determined by the app seed and
+    /// input) and already-simulated cells are loaded from the persistent
+    /// sweep cache when `cfg.sweep_cache` is set.
     pub fn hdtr(cfg: &ExperimentConfig) -> CorpusTelemetry {
         let corpus = hdtr_corpus(cfg.sub_seed("hdtr"), cfg.hdtr_apps, cfg.hdtr_phase_len);
-        let mut traces = Vec::new();
+        let mut cells: Vec<(usize, u64)> = Vec::new();
         for (app_id, entry) in corpus.iter().enumerate() {
             for &input in entry.inputs.iter().take(cfg.hdtr_traces_per_app) {
+                cells.push((app_id, input));
+            }
+        }
+        let sweep = Sweep::new("corpus.hdtr")
+            .jobs(cfg.jobs)
+            .cache_dir(cfg.sweep_cache.as_deref());
+        let traces = sweep.run_cached(
+            cells,
+            |&(app_id, input)| {
+                let mut d = Digest::new();
+                d.write_str("hdtr-cell")
+                    .write_u64(CACHE_SCHEMA)
+                    .write_u64(cfg.sub_seed("hdtr"))
+                    .write_u64(cfg.hdtr_apps as u64)
+                    .write_u64(cfg.hdtr_phase_len)
+                    .write_u64(cfg.hdtr_warmup_insts)
+                    .write_u64(cfg.hdtr_intervals_per_trace as u64)
+                    .write_u64(cfg.interval_insts)
+                    .write_u64(app_id as u64)
+                    .write_u64(input);
+                d.finish()
+            },
+            encode_trace,
+            decode_trace,
+            |&(app_id, input)| {
+                let entry = &corpus[app_id];
                 let mut src = entry.app.trace(input);
-                traces.push(collect_paired(
+                collect_paired(
                     &mut src,
                     cfg.hdtr_warmup_insts,
                     cfg.hdtr_intervals_per_trace,
@@ -257,9 +295,9 @@ impl CorpusTelemetry {
                     app_id as u32,
                     entry.app.name(),
                     input,
-                ));
-            }
-        }
+                )
+            },
+        );
         CorpusTelemetry { traces }
     }
 
@@ -272,23 +310,55 @@ impl CorpusTelemetry {
     /// representative of each cluster simulated in detail.
     pub fn spec(cfg: &ExperimentConfig) -> CorpusTelemetry {
         let suite = spec::spec_suite(cfg.sub_seed("spec"), cfg.spec_phase_len);
-        let mut traces = Vec::new();
+        // One sweep cell per (benchmark, workload): the SimPoint scan and
+        // every selected point's detailed simulation stay together so the
+        // per-workload trace ordering is preserved exactly.
+        let mut cells: Vec<(usize, u64, usize)> = Vec::new();
         for (bench_id, app) in suite.iter().enumerate() {
             for wl in &app.workloads {
-                let n_simpoints = wl.simpoints.min(cfg.spec_max_simpoints_per_workload);
+                cells.push((bench_id, wl.input, wl.simpoints));
+            }
+        }
+        let sweep = Sweep::new("corpus.spec")
+            .jobs(cfg.jobs)
+            .cache_dir(cfg.sweep_cache.as_deref());
+        let per_workload = sweep.run_cached(
+            cells,
+            |&(bench_id, input, simpoints)| {
+                let mut d = Digest::new();
+                d.write_str("spec-cell")
+                    .write_u64(CACHE_SCHEMA)
+                    .write_u64(cfg.sub_seed("spec"))
+                    .write_u64(cfg.sub_seed("simpoints"))
+                    .write_u64(cfg.spec_phase_len)
+                    .write_u64(cfg.spec_warmup_insts)
+                    .write_u64(cfg.spec_intervals_per_simpoint as u64)
+                    .write_u64(cfg.spec_max_simpoints_per_workload as u64)
+                    .write_u64(cfg.interval_insts)
+                    .write_u64(bench_id as u64)
+                    .write_u64(input)
+                    .write_u64(simpoints as u64);
+                d.finish()
+            },
+            encode_traces,
+            decode_traces,
+            |&(bench_id, input, simpoints)| {
+                let app = &suite[bench_id];
+                let n_simpoints = simpoints.min(cfg.spec_max_simpoints_per_workload);
                 // Scan a region several times larger than what will be
                 // simulated, then pick representatives.
                 let scan = (cfg.spec_intervals_per_simpoint * n_simpoints * 3).max(8);
-                let mut scan_src = app.app.trace(wl.input);
+                let mut scan_src = app.app.trace(input);
                 let points = crate::simpoints::select_simpoints(
                     &mut scan_src,
                     cfg.interval_insts,
                     scan,
                     n_simpoints,
-                    cfg.sub_seed("simpoints") ^ (bench_id as u64) << 8 ^ wl.input,
+                    cfg.sub_seed("simpoints") ^ (bench_id as u64) << 8 ^ input,
                 );
+                let mut traces = Vec::with_capacity(points.len());
                 for p in points {
-                    let mut src = app.app.trace(wl.input);
+                    let mut src = app.app.trace(input);
                     // Fast-forward to the representative region.
                     let skip = p.start_interval as u64 * cfg.interval_insts;
                     for _ in 0..skip.saturating_sub(cfg.spec_warmup_insts) {
@@ -303,13 +373,177 @@ impl CorpusTelemetry {
                         cfg.interval_insts,
                         bench_id as u32,
                         app.bench.name,
-                        wl.input,
+                        input,
                     ));
                 }
-            }
+                traces
+            },
+        );
+        CorpusTelemetry {
+            traces: per_workload.into_iter().flatten().collect(),
         }
-        CorpusTelemetry { traces }
     }
+}
+
+// --- sweep-cache codec -----------------------------------------------
+//
+// A compact little-endian binary format for `TraceTelemetry`, used by the
+// persistent sweep cache. Decoding is defensive: any truncation, magic or
+// schema mismatch, or length inconsistency returns `None`, which the
+// sweep engine treats as a cache miss and recomputes.
+
+const TRACE_MAGIC: u32 = 0x5053_5454; // "PSTT"
+
+fn push_f64s(out: &mut Vec<u8>, vals: &[f64]) {
+    out.extend_from_slice(&(vals.len() as u32).to_le_bytes());
+    for v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn push_u64s(out: &mut Vec<u8>, vals: &[u64]) {
+    out.extend_from_slice(&(vals.len() as u32).to_le_bytes());
+    for v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn push_rows(out: &mut Vec<u8>, rows: &[Vec<f64>]) {
+    out.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+    for row in rows {
+        push_f64s(out, row);
+    }
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let s = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_bits(self.u64()?))
+    }
+
+    fn f64s(&mut self) -> Option<Vec<f64>> {
+        let n = self.u32()? as usize;
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    fn u64s(&mut self) -> Option<Vec<u64>> {
+        let n = self.u32()? as usize;
+        (0..n).map(|_| self.u64()).collect()
+    }
+
+    fn rows(&mut self) -> Option<Vec<Vec<f64>>> {
+        let n = self.u32()? as usize;
+        (0..n).map(|_| self.f64s()).collect()
+    }
+}
+
+/// Serializes one trace for the sweep cache.
+pub fn encode_trace(t: &TraceTelemetry) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&TRACE_MAGIC.to_le_bytes());
+    out.extend_from_slice(&(CACHE_SCHEMA as u32).to_le_bytes());
+    out.extend_from_slice(&t.app_id.to_le_bytes());
+    out.extend_from_slice(&t.workload.to_le_bytes());
+    out.extend_from_slice(&(t.app_name.len() as u32).to_le_bytes());
+    out.extend_from_slice(t.app_name.as_bytes());
+    push_rows(&mut out, &t.rows_hi);
+    push_rows(&mut out, &t.rows_lo);
+    push_f64s(&mut out, &t.ipc_hi);
+    push_f64s(&mut out, &t.ipc_lo);
+    push_u64s(&mut out, &t.cycles_hi);
+    push_u64s(&mut out, &t.cycles_lo);
+    push_f64s(&mut out, &t.energy_hi);
+    push_f64s(&mut out, &t.energy_lo);
+    push_u64s(&mut out, &t.insts);
+    out
+}
+
+fn decode_trace_at(c: &mut Cursor<'_>) -> Option<TraceTelemetry> {
+    if c.u32()? != TRACE_MAGIC || c.u32()? != CACHE_SCHEMA as u32 {
+        return None;
+    }
+    let app_id = c.u32()?;
+    let workload = c.u64()?;
+    let name_len = c.u32()? as usize;
+    let app_name = String::from_utf8(c.take(name_len)?.to_vec()).ok()?;
+    let t = TraceTelemetry {
+        app_id,
+        app_name,
+        workload,
+        rows_hi: c.rows()?,
+        rows_lo: c.rows()?,
+        ipc_hi: c.f64s()?,
+        ipc_lo: c.f64s()?,
+        cycles_hi: c.u64s()?,
+        cycles_lo: c.u64s()?,
+        energy_hi: c.f64s()?,
+        energy_lo: c.f64s()?,
+        insts: c.u64s()?,
+    };
+    // Structural invariants the rest of the pipeline relies on.
+    let n = t.insts.len();
+    let consistent = t.rows_hi.len() == n
+        && t.rows_lo.len() == n
+        && t.ipc_hi.len() == n
+        && t.ipc_lo.len() == n
+        && t.cycles_hi.len() == n
+        && t.cycles_lo.len() == n
+        && t.energy_hi.len() == n
+        && t.energy_lo.len() == n
+        && t.rows_hi.iter().all(|r| r.len() == NUM_EVENTS)
+        && t.rows_lo.iter().all(|r| r.len() == NUM_EVENTS);
+    consistent.then_some(t)
+}
+
+/// Deserializes one trace; `None` on any corruption or schema mismatch.
+pub fn decode_trace(buf: &[u8]) -> Option<TraceTelemetry> {
+    let mut c = Cursor { buf, pos: 0 };
+    let t = decode_trace_at(&mut c)?;
+    (c.pos == buf.len()).then_some(t)
+}
+
+/// Serializes a workload's trace list (one SPEC sweep cell).
+pub fn encode_traces(ts: &Vec<TraceTelemetry>) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(ts.len() as u32).to_le_bytes());
+    for t in ts {
+        let enc = encode_trace(t);
+        out.extend_from_slice(&(enc.len() as u32).to_le_bytes());
+        out.extend_from_slice(&enc);
+    }
+    out
+}
+
+/// Deserializes a workload's trace list; `None` on any corruption.
+pub fn decode_traces(buf: &[u8]) -> Option<Vec<TraceTelemetry>> {
+    let mut c = Cursor { buf, pos: 0 };
+    let n = c.u32()? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = c.u32()? as usize;
+        let slice = c.take(len)?;
+        out.push(decode_trace(slice)?);
+    }
+    (c.pos == buf.len()).then_some(out)
 }
 
 #[cfg(test)]
@@ -399,5 +633,87 @@ mod tests {
         assert!(hdtr.total_intervals() > 0);
         let filtered = hdtr.filter_apps(&[0, 1]);
         assert_eq!(filtered.traces.len(), 2);
+    }
+
+    fn traces_equal(a: &TraceTelemetry, b: &TraceTelemetry) -> bool {
+        a.app_id == b.app_id
+            && a.app_name == b.app_name
+            && a.workload == b.workload
+            && a.rows_hi == b.rows_hi
+            && a.rows_lo == b.rows_lo
+            && a.ipc_hi == b.ipc_hi
+            && a.ipc_lo == b.ipc_lo
+            && a.cycles_hi == b.cycles_hi
+            && a.cycles_lo == b.cycles_lo
+            && a.energy_hi == b.energy_hi
+            && a.energy_lo == b.energy_lo
+            && a.insts == b.insts
+    }
+
+    #[test]
+    fn codec_roundtrips_bit_exactly() {
+        let t = quick_trace(Archetype::MemBound, 6);
+        let decoded = decode_trace(&encode_trace(&t)).expect("roundtrip");
+        assert!(traces_equal(&t, &decoded));
+
+        let list = vec![quick_trace(Archetype::Balanced, 3), t];
+        let decoded = decode_traces(&encode_traces(&list)).expect("roundtrip");
+        assert_eq!(decoded.len(), 2);
+        assert!(traces_equal(&list[0], &decoded[0]));
+        assert!(traces_equal(&list[1], &decoded[1]));
+    }
+
+    #[test]
+    fn codec_rejects_corruption() {
+        let t = quick_trace(Archetype::Branchy, 3);
+        let enc = encode_trace(&t);
+        assert!(decode_trace(&enc[..enc.len() - 3]).is_none(), "truncated");
+        let mut bad_magic = enc.clone();
+        bad_magic[0] ^= 0xff;
+        assert!(decode_trace(&bad_magic).is_none(), "bad magic");
+        let mut trailing = enc.clone();
+        trailing.push(0);
+        assert!(decode_trace(&trailing).is_none(), "trailing bytes");
+        assert!(decode_trace(&[]).is_none(), "empty");
+    }
+
+    #[test]
+    fn parallel_corpus_is_bit_identical_to_serial() {
+        let mut cfg = crate::ExperimentConfig::quick();
+        cfg.hdtr_apps = 4;
+        cfg.hdtr_traces_per_app = 2;
+        cfg.hdtr_intervals_per_trace = 4;
+        cfg.jobs = 1;
+        let serial = CorpusTelemetry::hdtr(&cfg);
+        cfg.jobs = 4;
+        let parallel = CorpusTelemetry::hdtr(&cfg);
+        assert_eq!(serial.traces.len(), parallel.traces.len());
+        for (a, b) in serial.traces.iter().zip(&parallel.traces) {
+            assert!(traces_equal(a, b), "app {} diverged", a.app_id);
+        }
+    }
+
+    #[test]
+    fn cached_corpus_matches_cold_run() {
+        let dir =
+            std::env::temp_dir().join(format!("psca-paired-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = crate::ExperimentConfig::quick();
+        cfg.hdtr_apps = 3;
+        cfg.hdtr_traces_per_app = 1;
+        cfg.hdtr_intervals_per_trace = 4;
+        cfg.sweep_cache = Some(dir.clone());
+        let cold = CorpusTelemetry::hdtr(&cfg);
+        assert!(dir.exists(), "cache must be populated");
+        let warm = CorpusTelemetry::hdtr(&cfg);
+        assert_eq!(cold.traces.len(), warm.traces.len());
+        for (a, b) in cold.traces.iter().zip(&warm.traces) {
+            assert!(
+                traces_equal(a, b),
+                "cache hit diverged for app {}",
+                a.app_id
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -145,19 +145,32 @@ pub fn build_dataset_with_horizon(
     horizon: usize,
 ) -> Dataset {
     assert!(granularity >= 1, "granularity must be positive");
+    // Traces featurize independently; concatenating per-trace outputs in
+    // corpus order reproduces the serial dataset exactly. Nested inside an
+    // experiment's sweep cell this runs inline (no oversubscription).
+    let per_trace = psca_exec::Sweep::new("train.dataset").run(
+        corpus.traces.iter().collect(),
+        |trace: &&TraceTelemetry| {
+            let agg = trace.aggregate(granularity);
+            let agg_labels = agg.labels(sla);
+            let (rows, cycles) = mode_rows(trace, mode);
+            let mut feats: Vec<Vec<f64>> = Vec::new();
+            let mut labels = Vec::new();
+            for t in 0..agg.len().saturating_sub(horizon) {
+                let span = t * granularity..(t + 1) * granularity;
+                feats.push(aggregate_window(&rows[span.clone()], &cycles[span], events));
+                labels.push(agg_labels[t + horizon]);
+            }
+            (feats, labels, trace.app_id)
+        },
+    );
     let mut feats: Vec<Vec<f64>> = Vec::new();
     let mut labels = Vec::new();
     let mut groups = Vec::new();
-    for trace in &corpus.traces {
-        let agg = trace.aggregate(granularity);
-        let agg_labels = agg.labels(sla);
-        for t in 0..agg.len().saturating_sub(horizon) {
-            let span = t * granularity..(t + 1) * granularity;
-            let (rows, cycles) = mode_rows(trace, mode);
-            feats.push(aggregate_window(&rows[span.clone()], &cycles[span], events));
-            labels.push(agg_labels[t + horizon]);
-            groups.push(trace.app_id);
-        }
+    for (f, l, app_id) in per_trace {
+        groups.extend(std::iter::repeat_n(app_id, l.len()));
+        feats.extend(f);
+        labels.extend(l);
     }
     let refs: Vec<&[f64]> = feats.iter().map(|f| f.as_slice()).collect();
     Dataset::new(Matrix::from_rows(&refs), labels, groups)
@@ -174,23 +187,33 @@ pub fn build_hist_windows(
     sla: &Sla,
 ) -> (Vec<Vec<Vec<f64>>>, Vec<u8>, Vec<u32>) {
     assert!(granularity >= 1, "granularity must be positive");
+    let per_trace = psca_exec::Sweep::new("train.hist_windows").run(
+        corpus.traces.iter().collect(),
+        |trace: &&TraceTelemetry| {
+            let agg = trace.aggregate(granularity);
+            let agg_labels = agg.labels(sla);
+            let (rows, _) = mode_rows(trace, mode);
+            let mut windows = Vec::new();
+            let mut labels = Vec::new();
+            for t in 0..agg.len().saturating_sub(HORIZON) {
+                let span = t * granularity..(t + 1) * granularity;
+                let projected: Vec<Vec<f64>> = rows[span]
+                    .iter()
+                    .map(|r| events.iter().map(|e| r[e.index()]).collect())
+                    .collect();
+                windows.push(projected);
+                labels.push(agg_labels[t + HORIZON]);
+            }
+            (windows, labels, trace.app_id)
+        },
+    );
     let mut windows = Vec::new();
     let mut labels = Vec::new();
     let mut groups = Vec::new();
-    for trace in &corpus.traces {
-        let agg = trace.aggregate(granularity);
-        let agg_labels = agg.labels(sla);
-        for t in 0..agg.len().saturating_sub(HORIZON) {
-            let span = t * granularity..(t + 1) * granularity;
-            let (rows, _) = mode_rows(trace, mode);
-            let projected: Vec<Vec<f64>> = rows[span]
-                .iter()
-                .map(|r| events.iter().map(|e| r[e.index()]).collect())
-                .collect();
-            windows.push(projected);
-            labels.push(agg_labels[t + HORIZON]);
-            groups.push(trace.app_id);
-        }
+    for (w, l, app_id) in per_trace {
+        groups.extend(std::iter::repeat_n(app_id, l.len()));
+        windows.extend(w);
+        labels.extend(l);
     }
     (windows, labels, groups)
 }
@@ -326,19 +349,29 @@ pub fn featurize_windows(
     granularity: usize,
     sla: &Sla,
 ) -> Dataset {
+    let per_trace = psca_exec::Sweep::new("train.featurize").run(
+        corpus.traces.iter().collect(),
+        |trace: &&TraceTelemetry| {
+            let agg = trace.aggregate(granularity);
+            let agg_labels = agg.labels(sla);
+            let (rows, cycles) = mode_rows(trace, mode);
+            let mut rows_out: Vec<Vec<f64>> = Vec::new();
+            let mut labels = Vec::new();
+            for t in 0..agg.len().saturating_sub(HORIZON) {
+                let span = t * granularity..(t + 1) * granularity;
+                rows_out.push(feat.featurize(&rows[span.clone()], &cycles[span]));
+                labels.push(agg_labels[t + HORIZON]);
+            }
+            (rows_out, labels, trace.app_id)
+        },
+    );
     let mut rows_out: Vec<Vec<f64>> = Vec::new();
     let mut labels = Vec::new();
     let mut groups = Vec::new();
-    for trace in &corpus.traces {
-        let agg = trace.aggregate(granularity);
-        let agg_labels = agg.labels(sla);
-        let (rows, cycles) = mode_rows(trace, mode);
-        for t in 0..agg.len().saturating_sub(HORIZON) {
-            let span = t * granularity..(t + 1) * granularity;
-            rows_out.push(feat.featurize(&rows[span.clone()], &cycles[span]));
-            labels.push(agg_labels[t + HORIZON]);
-            groups.push(trace.app_id);
-        }
+    for (r, l, app_id) in per_trace {
+        groups.extend(std::iter::repeat_n(app_id, l.len()));
+        rows_out.extend(r);
+        labels.extend(l);
     }
     let refs: Vec<&[f64]> = rows_out.iter().map(|r| r.as_slice()).collect();
     Dataset::new(Matrix::from_rows(&refs), labels, groups)

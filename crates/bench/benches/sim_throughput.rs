@@ -84,4 +84,24 @@ fn main() {
         }
         Err(e) => eprintln!("[bench] failed to write run report: {e}"),
     }
+    // Machine-readable baseline at the repo root, tracked in git so perf
+    // regressions show up in review (docs/PERFORMANCE.md).
+    let mut json = String::from("{\n  \"bench\": \"sim_throughput\",\n");
+    json.push_str(&format!("  \"sim_insts_per_sec\": {:.0},\n", best));
+    json.push_str("  \"per_case_insts_per_sec\": {\n");
+    let cases: Vec<String> = criterion
+        .measurements()
+        .iter()
+        .filter_map(|m| {
+            m.elements_per_sec()
+                .map(|eps| format!("    \"{}\": {:.0}", m.id, eps))
+        })
+        .collect();
+    json.push_str(&cases.join(",\n"));
+    json.push_str("\n  }\n}\n");
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    match std::fs::write(root.join("BENCH_sim_throughput.json"), json) {
+        Ok(()) => eprintln!("[bench] baseline: BENCH_sim_throughput.json"),
+        Err(e) => eprintln!("[bench] failed to write BENCH_sim_throughput.json: {e}"),
+    }
 }

@@ -7,6 +7,8 @@
 //! repro -- all --trace-out t.json    # record a Perfetto trace
 //! repro -- all --serve-metrics       # live /metrics + /healthz + /report
 //! repro -- all --dash                # live TTY dashboard on stderr
+//! repro -- all --jobs 8              # worker threads (0 = auto; bit-identical)
+//! repro -- all --no-cache            # disable the persistent sweep cache
 //! repro -- --chaos default --quick   # chaos harness; exit 1 on SLA breach
 //! repro -- --chaos uc.drop=0.1,seed=7 chaos-sweep
 //! ```
@@ -63,6 +65,10 @@ struct Cli {
     serve_metrics: bool,
     trace_out: Option<String>,
     chaos: Option<String>,
+    /// Worker threads for parallel sweeps; `None` keeps the config preset.
+    jobs: Option<usize>,
+    /// Disables the persistent sweep result cache.
+    no_cache: bool,
     wanted: Vec<String>,
 }
 
@@ -74,6 +80,8 @@ fn parse_cli() -> Cli {
         serve_metrics: false,
         trace_out: None,
         chaos: None,
+        jobs: None,
+        no_cache: false,
         wanted: Vec::new(),
     };
     let mut i = 0;
@@ -105,9 +113,20 @@ fn parse_cli() -> Cli {
                     }
                 }
             }
+            "--jobs" => {
+                i += 1;
+                match args.get(i).and_then(|n| n.parse::<usize>().ok()) {
+                    Some(n) => cli.jobs = Some(n),
+                    None => {
+                        eprintln!("[repro] --jobs requires a number (0 = auto)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--no-cache" => cli.no_cache = true,
             flag if flag.starts_with("--") => {
                 eprintln!(
-                    "[repro] unknown flag '{flag}'. Known: --quick --dash --serve-metrics --trace-out PATH --chaos SPEC"
+                    "[repro] unknown flag '{flag}'. Known: --quick --dash --serve-metrics --trace-out PATH --chaos SPEC --jobs N --no-cache"
                 );
                 std::process::exit(2);
             }
@@ -138,17 +157,44 @@ fn main() {
         },
         None => ChaosSpec::default_chaos(),
     };
-    let cfg = if cli.quick {
+    let mut cfg = if cli.quick {
         ExperimentConfig::quick()
     } else {
         ExperimentConfig::full()
     };
+    if let Some(jobs) = cli.jobs {
+        cfg.jobs = jobs;
+    }
+    // Cache policy: --no-cache or PSCA_SWEEP_CACHE=0/off/false disables;
+    // PSCA_SWEEP_CACHE_DIR overrides the location. Environment is read
+    // only here, in the binary — library code takes explicit config.
+    if cli.no_cache
+        || matches!(
+            std::env::var("PSCA_SWEEP_CACHE").as_deref(),
+            Ok("0") | Ok("off") | Ok("false")
+        )
+    {
+        cfg.sweep_cache = None;
+    } else if let Ok(dir) = std::env::var("PSCA_SWEEP_CACHE_DIR") {
+        if !dir.is_empty() {
+            cfg.sweep_cache = Some(std::path::PathBuf::from(dir));
+        }
+    }
     eprintln!(
-        "[repro] config: {} (interval {} insts, {} HDTR apps, SLA P={:.2})",
+        "[repro] config: {} (interval {} insts, {} HDTR apps, SLA P={:.2}, jobs {}, cache {})",
         if cli.quick { "quick" } else { "full" },
         cfg.interval_insts,
         cfg.hdtr_apps,
-        cfg.sla.p_sla
+        cfg.sla.p_sla,
+        if cfg.jobs == 0 {
+            "auto".to_string()
+        } else {
+            cfg.jobs.to_string()
+        },
+        cfg.sweep_cache
+            .as_deref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| "off".into())
     );
     psca_obs::init_from_env();
     if let Some(path) = &cli.trace_out {
@@ -413,7 +459,10 @@ fn finalize_report(report: &mut RunReport, snap: &MetricsSnapshot) {
         Ok(path) => eprintln!("[repro] run report: {}", path.display()),
         Err(e) => eprintln!("[repro] failed to write run report: {e}"),
     }
-    println!("{}", report.render());
+    // The report carries wall-clock times, so it goes to stderr: stdout
+    // stays a pure function of (config, seed) and two runs of the same
+    // experiment grid diff clean regardless of --jobs (CI relies on this).
+    eprintln!("{}", report.render());
     psca_obs::flush();
 }
 

@@ -39,6 +39,12 @@ pub struct Cache {
     /// LRU stamps; larger = more recently used.
     stamps: Vec<u64>,
     tick: u64,
+    // MRU shortcut: slot holding `last_line`, so a repeat access to the
+    // hottest line skips the way scan. Maintained on every hit and fill;
+    // a slot can only change contents through a fill, which re-points the
+    // shortcut, so the fast path is always a genuine hit.
+    last_line: u64,
+    last_slot: usize,
 }
 
 impl Cache {
@@ -63,6 +69,8 @@ impl Cache {
             dirty: vec![false; sets * ways],
             stamps: vec![0; sets * ways],
             tick: 0,
+            last_line: u64::MAX,
+            last_slot: 0,
         }
     }
 
@@ -81,6 +89,17 @@ impl Cache {
     /// `is_write` marks the line dirty on hit or fill.
     pub fn access(&mut self, line: u64, is_write: bool) -> AccessOutcome {
         self.tick += 1;
+        if line == self.last_line {
+            // MRU fast path: identical effects to the scan-hit below.
+            self.stamps[self.last_slot] = self.tick;
+            if is_write {
+                self.dirty[self.last_slot] = true;
+            }
+            return AccessOutcome {
+                hit: true,
+                eviction: None,
+            };
+        }
         let set = (line as usize) % self.sets;
         let base = set * self.ways;
         // Hit?
@@ -90,6 +109,8 @@ impl Cache {
                 if is_write {
                     self.dirty[base + w] = true;
                 }
+                self.last_line = line;
+                self.last_slot = base + w;
                 return AccessOutcome {
                     hit: true,
                     eviction: None,
@@ -118,6 +139,8 @@ impl Cache {
         self.tags[base + victim] = line;
         self.dirty[base + victim] = is_write;
         self.stamps[base + victim] = self.tick;
+        self.last_line = line;
+        self.last_slot = base + victim;
         AccessOutcome {
             hit: false,
             eviction,
@@ -129,6 +152,8 @@ impl Cache {
         self.tags.fill(u64::MAX);
         self.dirty.fill(false);
         self.stamps.fill(0);
+        self.last_line = u64::MAX;
+        self.last_slot = 0;
     }
 }
 
@@ -223,5 +248,108 @@ mod tests {
     #[should_panic(expected = "incompatible")]
     fn bad_geometry_rejected() {
         let _ = Cache::new(100, 8);
+    }
+
+    /// Plain scan-only LRU cache without the MRU shortcut, used to prove
+    /// the shortcut is a pure optimization.
+    struct ReferenceCache {
+        sets: usize,
+        ways: usize,
+        tags: Vec<u64>,
+        dirty: Vec<bool>,
+        stamps: Vec<u64>,
+        tick: u64,
+    }
+
+    impl ReferenceCache {
+        fn new(capacity_bytes: usize, ways: usize) -> ReferenceCache {
+            let lines = capacity_bytes / 64;
+            let sets = lines / ways;
+            ReferenceCache {
+                sets,
+                ways,
+                tags: vec![u64::MAX; sets * ways],
+                dirty: vec![false; sets * ways],
+                stamps: vec![0; sets * ways],
+                tick: 0,
+            }
+        }
+
+        fn access(&mut self, line: u64, is_write: bool) -> AccessOutcome {
+            self.tick += 1;
+            let set = (line as usize) % self.sets;
+            let base = set * self.ways;
+            for w in 0..self.ways {
+                if self.tags[base + w] == line {
+                    self.stamps[base + w] = self.tick;
+                    if is_write {
+                        self.dirty[base + w] = true;
+                    }
+                    return AccessOutcome {
+                        hit: true,
+                        eviction: None,
+                    };
+                }
+            }
+            let mut victim = 0;
+            let mut oldest = u64::MAX;
+            for w in 0..self.ways {
+                if self.tags[base + w] == u64::MAX {
+                    victim = w;
+                    break;
+                }
+                if self.stamps[base + w] < oldest {
+                    oldest = self.stamps[base + w];
+                    victim = w;
+                }
+            }
+            let evicted_tag = self.tags[base + victim];
+            let eviction = if evicted_tag != u64::MAX {
+                Some((evicted_tag, self.dirty[base + victim]))
+            } else {
+                None
+            };
+            self.tags[base + victim] = line;
+            self.dirty[base + victim] = is_write;
+            self.stamps[base + victim] = self.tick;
+            AccessOutcome {
+                hit: false,
+                eviction,
+            }
+        }
+    }
+
+    #[test]
+    fn mru_shortcut_matches_reference_on_random_stream() {
+        let mut fast = Cache::new(4096, 4); // 64 lines, 16 sets
+        let mut reference = ReferenceCache::new(4096, 4);
+        let mut state = 0xdead_beef_cafe_f00du64;
+        let mut line = 0u64;
+        for i in 0..100_000u64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if state.is_multiple_of(5) {
+                line = (state >> 20) % 256; // jump in a 4x-capacity footprint
+            } else if state % 5 == 1 {
+                line = line.wrapping_add(1) % 256; // sequential
+            }
+            // else: repeat the same line (exercises the MRU path)
+            let is_write = state.is_multiple_of(3);
+            assert_eq!(
+                fast.access(line, is_write),
+                reference.access(line, is_write),
+                "diverged at access {i} line {line}"
+            );
+            if i == 50_000 {
+                fast.flush();
+                reference.tags.fill(u64::MAX);
+                reference.dirty.fill(false);
+                reference.stamps.fill(0);
+            }
+        }
+        assert_eq!(fast.tags, reference.tags);
+        assert_eq!(fast.dirty, reference.dirty);
+        assert_eq!(fast.stamps, reference.stamps);
     }
 }

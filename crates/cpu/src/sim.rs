@@ -17,6 +17,59 @@ use crate::power::PowerModel;
 use crate::tlb::Tlb;
 use psca_telemetry::{CounterBank, Event, IntervalSnapshot};
 use psca_trace::{Instruction, OpClass, TraceSource, NUM_ARCH_REGS};
+use std::sync::Arc;
+
+/// Observability handles resolved once at simulator construction so the
+/// per-interval close never takes the registry lock (ISSUE 4: the old
+/// code re-looked-up `series("cpu.sim.ipc")` every window). When
+/// `PSCA_OBS=0`/`off` the whole struct is `None` on the simulator and
+/// every sim-level metric call collapses to a single pointer test.
+#[derive(Debug, Clone)]
+struct SimObs {
+    instructions: Arc<psca_obs::Counter>,
+    cycles: Arc<psca_obs::Counter>,
+    intervals: Arc<psca_obs::Counter>,
+    cycles_low_power: Arc<psca_obs::Counter>,
+    mode_switches: Arc<psca_obs::Counter>,
+    transfer_uops: Arc<psca_obs::Counter>,
+    switch_lost: Arc<psca_obs::Counter>,
+    switch_delayed: Arc<psca_obs::Counter>,
+    ipc: psca_obs::SeriesHandle,
+    low_power: psca_obs::SeriesHandle,
+}
+
+impl SimObs {
+    fn resolve() -> Option<SimObs> {
+        if !sim_obs_enabled() {
+            return None;
+        }
+        Some(SimObs {
+            instructions: psca_obs::counter("cpu.sim.instructions"),
+            cycles: psca_obs::counter("cpu.sim.cycles"),
+            intervals: psca_obs::counter("cpu.sim.intervals"),
+            cycles_low_power: psca_obs::counter("cpu.sim.cycles_low_power"),
+            mode_switches: psca_obs::counter("cpu.mode_switches"),
+            transfer_uops: psca_obs::counter("cpu.transfer_uops"),
+            switch_lost: psca_obs::counter("cpu.mode_switch.lost"),
+            switch_delayed: psca_obs::counter("cpu.mode_switch.delayed"),
+            ipc: psca_obs::series_handle("cpu.sim.ipc"),
+            low_power: psca_obs::series_handle("cpu.sim.low_power"),
+        })
+    }
+}
+
+/// Whether sim-level observability is on (default) or disabled via
+/// `PSCA_OBS=0`/`off`. Read once per process: simulators are constructed
+/// in inner experiment loops and `std::env::var` is not cheap.
+fn sim_obs_enabled() -> bool {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        !matches!(
+            std::env::var("PSCA_OBS").as_deref(),
+            Ok("0") | Ok("off") | Ok("false")
+        )
+    })
+}
 
 /// Cluster configuration of the core (§3, Figure 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -208,6 +261,8 @@ pub struct ClusterSim {
     last_schedule: [u64; 6],
     // mode-switch request delayed by an actuation fault
     delayed_mode: Option<Mode>,
+    // pre-resolved observability handles (None when PSCA_OBS=0)
+    obs: Option<SimObs>,
 }
 
 impl ClusterSim {
@@ -263,6 +318,7 @@ impl ClusterSim {
             gated_cc: 0,
             last_schedule: [0; 6],
             delayed_mode: None,
+            obs: SimObs::resolve(),
             mode: Mode::HighPerf,
             cfg,
             power,
@@ -291,7 +347,9 @@ impl ClusterSim {
         }
         self.account_cluster_cycles();
         self.bank.incr(Event::ModeSwitches);
-        psca_obs::counter("cpu.mode_switches").inc();
+        if let Some(obs) = &self.obs {
+            obs.mode_switches.inc();
+        }
         if psca_obs::enabled(psca_obs::Level::Debug) {
             psca_obs::emit(
                 psca_obs::Level::Debug,
@@ -319,7 +377,9 @@ impl ClusterSim {
                 .count()
                 .min(self.cfg.transfer_uop_max as usize) as u64;
             self.bank.add(Event::TransferUops, live_in_c2);
-            psca_obs::counter("cpu.transfer_uops").add(live_in_c2);
+            if let Some(obs) = &self.obs {
+                obs.transfer_uops.add(live_in_c2);
+            }
             self.bank.add(Event::UopsIssued, live_in_c2);
             self.bank.add(Event::Cluster1UopsIssued, live_in_c2);
             self.uops_issued_in_interval += live_in_c2;
@@ -346,7 +406,9 @@ impl ClusterSim {
             }
             ModeSwitchFault::Lost => {
                 if mode != self.mode {
-                    psca_obs::counter("cpu.mode_switch.lost").inc();
+                    if let Some(obs) = &self.obs {
+                        obs.switch_lost.inc();
+                    }
                     psca_obs::emit(
                         psca_obs::Level::Warn,
                         "cpu.mode_switch.lost",
@@ -358,7 +420,9 @@ impl ClusterSim {
             ModeSwitchFault::DelayedOneWindow => {
                 if mode != self.mode {
                     self.delayed_mode = Some(mode);
-                    psca_obs::counter("cpu.mode_switch.delayed").inc();
+                    if let Some(obs) = &self.obs {
+                        obs.switch_delayed.inc();
+                    }
                 }
                 false
             }
@@ -758,23 +822,27 @@ impl ClusterSim {
         if executed == 0 {
             return None;
         }
-        // Close the interval. Observability counters are bumped once per
-        // interval (not per instruction) to keep the hot loop unchanged.
+        // Close the interval. Observability is batched once per interval
+        // (never per instruction) through handles resolved at
+        // construction, so the close costs a few relaxed atomic ops and
+        // zero registry lookups — and nothing at all under PSCA_OBS=0.
         let cycles = (self.last_retire - self.interval_start).max(1);
         self.bank.add(Event::Cycles, cycles);
-        psca_obs::counter("cpu.sim.instructions").add(executed);
-        psca_obs::counter("cpu.sim.cycles").add(cycles);
-        psca_obs::counter("cpu.sim.intervals").inc();
-        if self.mode == Mode::LowPower {
-            psca_obs::counter("cpu.sim.cycles_low_power").add(cycles);
-        }
         let interval_ipc = executed as f64 / cycles as f64;
-        psca_obs::series("cpu.sim.ipc").push(interval_ipc);
-        psca_obs::series("cpu.sim.low_power").push(if self.mode == Mode::LowPower {
-            1.0
-        } else {
-            0.0
-        });
+        if let Some(obs) = &self.obs {
+            obs.instructions.add(executed);
+            obs.cycles.add(cycles);
+            obs.intervals.inc();
+            if self.mode == Mode::LowPower {
+                obs.cycles_low_power.add(cycles);
+            }
+            obs.ipc.push(interval_ipc);
+            obs.low_power.push(if self.mode == Mode::LowPower {
+                1.0
+            } else {
+                0.0
+            });
+        }
         if psca_obs::trace::enabled() {
             psca_obs::trace::counter_event("cpu.sim.ipc", interval_ipc);
         }

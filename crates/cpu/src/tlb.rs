@@ -16,6 +16,11 @@ pub struct Tlb {
     entries: Vec<u64>,
     stamps: Vec<u64>,
     tick: u64,
+    // MRU shortcut: index of the entry holding `last_page`, so the common
+    // repeat-page access skips the full associative scan. Semantics are
+    // identical to the scan path (hit => stamp refresh only).
+    last_page: u64,
+    last_idx: usize,
 }
 
 impl Tlb {
@@ -29,6 +34,8 @@ impl Tlb {
             entries: vec![u64::MAX; entries],
             stamps: vec![0; entries],
             tick: 0,
+            last_page: u64::MAX,
+            last_idx: 0,
         }
     }
 
@@ -37,11 +44,19 @@ impl Tlb {
     pub fn access(&mut self, vaddr: u64) -> bool {
         self.tick += 1;
         let page = vaddr >> 12;
+        if page == self.last_page {
+            // The MRU entry can only be displaced by a miss, which updates
+            // the shortcut, so this is always a genuine hit.
+            self.stamps[self.last_idx] = self.tick;
+            return true;
+        }
         let mut victim = 0;
         let mut oldest = u64::MAX;
         for (i, &e) in self.entries.iter().enumerate() {
             if e == page {
                 self.stamps[i] = self.tick;
+                self.last_page = page;
+                self.last_idx = i;
                 return true;
             }
             if self.stamps[i] < oldest {
@@ -51,6 +66,8 @@ impl Tlb {
         }
         self.entries[victim] = page;
         self.stamps[victim] = self.tick;
+        self.last_page = page;
+        self.last_idx = victim;
         false
     }
 
@@ -58,6 +75,8 @@ impl Tlb {
     pub fn flush(&mut self) {
         self.entries.fill(u64::MAX);
         self.stamps.fill(0);
+        self.last_page = u64::MAX;
+        self.last_idx = 0;
     }
 }
 
@@ -111,5 +130,74 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_entries_rejected() {
         let _ = Tlb::new(0);
+    }
+
+    /// Plain full-scan LRU TLB without the MRU shortcut, used to prove the
+    /// shortcut is a pure optimization.
+    struct ReferenceTlb {
+        entries: Vec<u64>,
+        stamps: Vec<u64>,
+        tick: u64,
+    }
+
+    impl ReferenceTlb {
+        fn new(n: usize) -> ReferenceTlb {
+            ReferenceTlb {
+                entries: vec![u64::MAX; n],
+                stamps: vec![0; n],
+                tick: 0,
+            }
+        }
+
+        fn access(&mut self, vaddr: u64) -> bool {
+            self.tick += 1;
+            let page = vaddr >> 12;
+            let mut victim = 0;
+            let mut oldest = u64::MAX;
+            for (i, &e) in self.entries.iter().enumerate() {
+                if e == page {
+                    self.stamps[i] = self.tick;
+                    return true;
+                }
+                if self.stamps[i] < oldest {
+                    oldest = self.stamps[i];
+                    victim = i;
+                }
+            }
+            self.entries[victim] = page;
+            self.stamps[victim] = self.tick;
+            false
+        }
+    }
+
+    #[test]
+    fn mru_shortcut_matches_reference_on_random_stream() {
+        let mut fast = Tlb::new(8);
+        let mut reference = ReferenceTlb::new(8);
+        // Deterministic LCG address stream with heavy page locality.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut addr = 0u64;
+        for i in 0..50_000u64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if state.is_multiple_of(4) {
+                addr = (state >> 16) % (32 << 12); // jump within 32 pages
+            } else {
+                addr = addr.wrapping_add(state % 64); // local stride
+            }
+            assert_eq!(
+                fast.access(addr),
+                reference.access(addr),
+                "diverged at access {i} addr {addr:#x}"
+            );
+            if i == 25_000 {
+                fast.flush();
+                reference.entries.fill(u64::MAX);
+                reference.stamps.fill(0);
+            }
+        }
+        assert_eq!(fast.entries, reference.entries);
+        assert_eq!(fast.stamps, reference.stamps);
     }
 }

@@ -1,0 +1,108 @@
+//! Persistent content-addressed result cache for sweep cells.
+//!
+//! Each cell result is stored as `<dir>/<key:016x>.bin` where `key` is the
+//! caller's content digest over everything that determines the cell's
+//! output (workload identity, config fields, seeds, codec schema). Files
+//! are written to a temporary name and atomically renamed into place, so
+//! concurrent workers — or concurrent processes — never observe a
+//! half-written entry. A corrupt or undecodable entry is treated as a
+//! miss and overwritten.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A directory-backed cell result cache.
+#[derive(Debug, Clone)]
+pub struct SweepCache {
+    dir: PathBuf,
+}
+
+impl SweepCache {
+    /// Opens (without creating) a cache rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        SweepCache { dir: dir.into() }
+    }
+
+    /// The default on-disk location, relative to the working directory.
+    pub fn default_dir() -> PathBuf {
+        PathBuf::from("target/sweep-cache")
+    }
+
+    /// The cache's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.bin"))
+    }
+
+    /// Returns the stored bytes for `key`, or `None` on a miss.
+    pub fn load(&self, key: u64) -> Option<Vec<u8>> {
+        std::fs::read(self.entry_path(key)).ok()
+    }
+
+    /// Stores `bytes` under `key` via an atomic temp-file rename.
+    ///
+    /// Failures are swallowed: the cache is an accelerator, never a
+    /// correctness dependency, so a read-only disk just means re-simulating.
+    pub fn store(&self, key: u64, bytes: &[u8]) {
+        if std::fs::create_dir_all(&self.dir).is_err() {
+            return;
+        }
+        let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp = self
+            .dir
+            .join(format!(".tmp-{}-{seq}-{key:016x}", std::process::id()));
+        if std::fs::write(&tmp, bytes).is_ok()
+            && std::fs::rename(&tmp, self.entry_path(key)).is_err()
+        {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("psca-exec-cache-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_then_load_roundtrips() {
+        let dir = scratch("roundtrip");
+        let cache = SweepCache::new(&dir);
+        assert_eq!(cache.load(0xdead_beef), None);
+        cache.store(0xdead_beef, b"cell-result");
+        assert_eq!(cache.load(0xdead_beef), Some(b"cell-result".to_vec()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let dir = scratch("keys");
+        let cache = SweepCache::new(&dir);
+        cache.store(1, b"one");
+        cache.store(2, b"two");
+        assert_eq!(cache.load(1), Some(b"one".to_vec()));
+        assert_eq!(cache.load(2), Some(b"two".to_vec()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn overwrite_replaces_entry() {
+        let dir = scratch("overwrite");
+        let cache = SweepCache::new(&dir);
+        cache.store(9, b"old");
+        cache.store(9, b"new");
+        assert_eq!(cache.load(9), Some(b"new".to_vec()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,254 @@
+//! The `Sweep` abstraction: fan independent (workload, config, seed) cells
+//! across the worker pool with results that are bit-identical to a serial
+//! run, plus an optional persistent result cache.
+//!
+//! Determinism contract:
+//! - every cell derives its RNG stream from data carried *in the cell*
+//!   (the caller's responsibility — all PSCA corpora already seed this way),
+//! - results are merged back in cell-index order ([`pool::map_indexed`]),
+//! - order-sensitive observability (time series) recorded inside a cell is
+//!   captured in a per-cell shard and replayed into the global registry in
+//!   cell-index order, so the registry ends up in the same state a serial
+//!   run would produce. Counters and histograms are commutative atomics
+//!   and need no special handling.
+//!
+//! Nested sweeps (a `Sweep::run` issued from inside another sweep's cell)
+//! automatically degrade to inline serial execution: no thread
+//! oversubscription, and inner series recordings flow into the enclosing
+//! cell's shard in deterministic order.
+
+use std::path::Path;
+use std::time::Instant;
+
+use crate::cache::SweepCache;
+use crate::pool;
+use psca_obs::shard;
+
+/// A parallel sweep over independent cells.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    label: String,
+    jobs: usize,
+    cache: Option<SweepCache>,
+}
+
+impl Sweep {
+    /// Creates a sweep. `label` names the sweep in exec metrics.
+    /// Jobs default to auto (`PSCA_JOBS` or `available_parallelism`).
+    pub fn new(label: &str) -> Self {
+        Sweep {
+            label: label.to_string(),
+            jobs: 0,
+            cache: None,
+        }
+    }
+
+    /// Sets the worker count. `0` = auto.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Enables the persistent result cache under `dir` (`None` disables).
+    pub fn cache_dir(mut self, dir: Option<&Path>) -> Self {
+        self.cache = dir.map(SweepCache::new);
+        self
+    }
+
+    /// The worker count this sweep will actually use right now: nested
+    /// sweeps always run inline to avoid oversubscribing the pool.
+    pub fn effective_jobs(&self) -> usize {
+        if shard::is_active() {
+            1
+        } else {
+            pool::resolve_jobs(self.jobs)
+        }
+    }
+
+    /// Runs `f` over every cell, returning results in cell order.
+    pub fn run<T, R, F>(&self, cells: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.dispatch(cells, |cell| CellOutcome::Computed(f(cell)))
+    }
+
+    /// Runs `f` over every cell with the persistent cache in front.
+    ///
+    /// `key` must digest everything that determines the cell's output
+    /// (workload identity, config fields, seeds, codec schema version).
+    /// `encode`/`decode` are the on-disk codec; a `decode` returning
+    /// `None` (corrupt or stale entry) falls back to recomputing.
+    pub fn run_cached<T, R, K, E, D, F>(
+        &self,
+        cells: Vec<T>,
+        key: K,
+        encode: E,
+        decode: D,
+        f: F,
+    ) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        K: Fn(&T) -> u64 + Sync,
+        E: Fn(&R) -> Vec<u8> + Sync,
+        D: Fn(&[u8]) -> Option<R> + Sync,
+        F: Fn(&T) -> R + Sync,
+    {
+        let cache = self.cache.as_ref();
+        self.dispatch(cells, |cell| {
+            let Some(cache) = cache else {
+                return CellOutcome::Computed(f(cell));
+            };
+            let k = key(cell);
+            if let Some(hit) = cache.load(k).and_then(|bytes| decode(&bytes)) {
+                psca_obs::counter("exec.cache.hits").inc();
+                return CellOutcome::Cached(hit);
+            }
+            psca_obs::counter("exec.cache.misses").inc();
+            let out = f(cell);
+            cache.store(k, &encode(&out));
+            psca_obs::counter("exec.cache.stores").inc();
+            CellOutcome::Computed(out)
+        })
+    }
+
+    fn dispatch<T, R, G>(&self, cells: Vec<T>, g: G) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        G: Fn(&T) -> CellOutcome<R> + Sync,
+    {
+        let n = cells.len();
+        let jobs = self.effective_jobs().min(n.max(1));
+        let start = Instant::now();
+        let results = if jobs <= 1 {
+            // Inline path: series push straight into the registry (or the
+            // enclosing cell's shard) in cell order — exactly the order the
+            // sharded parallel path replays below.
+            pool::map_indexed(1, cells, &|_, cell: T| {
+                let t0 = Instant::now();
+                let out = g(&cell).into_inner();
+                psca_obs::histogram("exec.cell_us").record(t0.elapsed().as_micros() as u64);
+                out
+            })
+        } else {
+            let sharded = pool::map_indexed(jobs, cells, &|_, cell: T| {
+                let t0 = Instant::now();
+                shard::begin_cell();
+                let out = g(&cell);
+                let rec = shard::end_cell();
+                psca_obs::histogram("exec.cell_us").record(t0.elapsed().as_micros() as u64);
+                (out, rec)
+            });
+            sharded
+                .into_iter()
+                .map(|(out, rec)| {
+                    shard::replay(&rec);
+                    out.into_inner()
+                })
+                .collect()
+        };
+        let wall = start.elapsed().as_secs_f64().max(1e-9);
+        psca_obs::counter("exec.cells").add(n as u64);
+        psca_obs::counter(&format!("exec.sweep.{}.cells", self.label)).add(n as u64);
+        psca_obs::gauge("exec.jobs").set(jobs as f64);
+        psca_obs::gauge("exec.cells_per_sec").set(n as f64 / wall);
+        results
+    }
+}
+
+enum CellOutcome<R> {
+    Computed(R),
+    Cached(R),
+}
+
+impl<R> CellOutcome<R> {
+    fn into_inner(self) -> R {
+        match self {
+            CellOutcome::Computed(r) | CellOutcome::Cached(r) => r,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest::Digest;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn run_preserves_order_across_jobs_counts() {
+        let cells: Vec<u64> = (0..40).collect();
+        let f = |&c: &u64| c.wrapping_mul(0x1234_5678_9abc_def1);
+        let serial = Sweep::new("t").jobs(1).run(cells.clone(), f);
+        let parallel = Sweep::new("t").jobs(6).run(cells, f);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn series_merge_is_deterministic_across_jobs_counts() {
+        let cells: Vec<u64> = (0..16).collect();
+        let record = |&c: &u64| {
+            psca_obs::series_handle("exec.test.series").push(c as f64);
+            c
+        };
+        psca_obs::series("exec.test.series").reset();
+        let _ = Sweep::new("t").jobs(1).run(cells.clone(), record);
+        let serial = psca_obs::series("exec.test.series").snapshot();
+        psca_obs::series("exec.test.series").reset();
+        let _ = Sweep::new("t").jobs(4).run(cells, record);
+        let parallel = psca_obs::series("exec.test.series").snapshot();
+        assert_eq!(
+            serial.iter().map(|p| p.1).collect::<Vec<_>>(),
+            parallel.iter().map(|p| p.1).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn nested_sweeps_run_inline() {
+        let outer: Vec<u64> = (0..4).collect();
+        let out = Sweep::new("outer").jobs(4).run(outer, |&o| {
+            let inner = Sweep::new("inner").jobs(4);
+            assert_eq!(inner.effective_jobs(), 1, "nested sweep must inline");
+            inner.run((0..3).collect::<Vec<u64>>(), |&i| o * 10 + i)
+        });
+        assert_eq!(out[1], vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn cache_hits_skip_recompute_and_match_cold_run() {
+        let dir = std::env::temp_dir().join(format!("psca-exec-sweep-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let computed = AtomicUsize::new(0);
+        let run = |dir: &PathBuf| {
+            Sweep::new("t").jobs(2).cache_dir(Some(dir)).run_cached(
+                (0..10u64).collect::<Vec<_>>(),
+                |&c| {
+                    let mut d = Digest::new();
+                    d.write_str("sweep-test").write_u64(c);
+                    d.finish()
+                },
+                |r: &u64| r.to_le_bytes().to_vec(),
+                |b: &[u8]| Some(u64::from_le_bytes(b.try_into().ok()?)),
+                |&c| {
+                    computed.fetch_add(1, Ordering::Relaxed);
+                    c * c
+                },
+            )
+        };
+        let cold = run(&dir);
+        assert_eq!(computed.load(Ordering::Relaxed), 10);
+        let warm = run(&dir);
+        assert_eq!(
+            computed.load(Ordering::Relaxed),
+            10,
+            "warm run must not recompute"
+        );
+        assert_eq!(cold, warm);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

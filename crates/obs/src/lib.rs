@@ -39,6 +39,7 @@ pub mod exporter;
 pub mod json;
 pub mod metrics;
 pub mod report;
+pub mod shard;
 pub mod span;
 pub mod timeseries;
 pub mod trace;
@@ -74,6 +75,50 @@ pub fn histogram(name: &str) -> Arc<Histogram> {
 /// The global time-series sampler named `name` (created on first use).
 pub fn series(name: &str) -> Arc<TimeSeries> {
     metrics::global().series(name)
+}
+
+/// A pre-resolved, shard-aware handle to a named time series.
+///
+/// Resolve once (at simulator/controller construction) and push per
+/// window: no registry lock on the hot path. When the calling thread is
+/// inside a sweep cell ([`shard::begin_cell`]), pushes are captured into
+/// the cell's recording for deterministic in-order replay instead of
+/// hitting the order-sensitive global series directly.
+#[derive(Debug, Clone)]
+pub struct SeriesHandle {
+    name: Arc<str>,
+    inner: Arc<TimeSeries>,
+}
+
+impl SeriesHandle {
+    /// The series name this handle resolves to.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends `y` (auto x), routing through the active cell shard if any.
+    #[inline]
+    pub fn push(&self, y: f64) {
+        if !shard::record(&self.name, shard::SeriesSample::Auto(y)) {
+            self.inner.push(y);
+        }
+    }
+
+    /// Appends `(x, y)`, routing through the active cell shard if any.
+    #[inline]
+    pub fn push_at(&self, x: u64, y: f64) {
+        if !shard::record(&self.name, shard::SeriesSample::At(x, y)) {
+            self.inner.push_at(x, y);
+        }
+    }
+}
+
+/// Resolves a shard-aware [`SeriesHandle`] for the global series `name`.
+pub fn series_handle(name: &str) -> SeriesHandle {
+    SeriesHandle {
+        name: Arc::from(name),
+        inner: metrics::global().series(name),
+    }
 }
 
 /// Snapshot of every global metric.

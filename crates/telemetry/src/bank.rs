@@ -45,7 +45,13 @@ impl CounterBank {
     /// and instruction totals are preserved on the snapshot so IPC and
     /// coarser-granularity re-aggregation remain exact.
     pub fn snapshot_and_reset(&mut self) -> IntervalSnapshot {
-        psca_obs::counter("telemetry.snapshots").inc();
+        // Resolved once per process: this runs at every interval boundary,
+        // and the registry lookup costs a lock + BTreeMap walk.
+        static SNAPSHOTS: std::sync::OnceLock<std::sync::Arc<psca_obs::Counter>> =
+            std::sync::OnceLock::new();
+        SNAPSHOTS
+            .get_or_init(|| psca_obs::counter("telemetry.snapshots"))
+            .inc();
         let cycles = self.counts[Event::Cycles.index()].max(1);
         let instructions = self.counts[Event::InstRetired.index()];
         let mut normalized = [0.0f64; NUM_EVENTS];

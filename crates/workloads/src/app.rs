@@ -165,7 +165,13 @@ impl AppTrace {
         let gen_seed: u64 = self.rng.gen();
         self.generator = PhaseGenerator::new(self.app.phases[next], gen_seed);
         self.remaining_in_phase = self.sample_phase_len();
-        psca_obs::counter("workloads.phase_transitions").inc();
+        // Resolved once per process — phase transitions fire inside the
+        // trace generation hot loop.
+        static TRANSITIONS: std::sync::OnceLock<std::sync::Arc<psca_obs::Counter>> =
+            std::sync::OnceLock::new();
+        TRANSITIONS
+            .get_or_init(|| psca_obs::counter("workloads.phase_transitions"))
+            .inc();
     }
 }
 

@@ -1,0 +1,107 @@
+//! Bit-identity regression tests for the parallel experiment engine
+//! (`psca-exec`): experiment outputs must not depend on `jobs`, and a
+//! cache-hit rerun must reproduce a cold run exactly.
+//!
+//! These are the contract behind `repro --jobs N`: cells carry their own
+//! seeds, merge in cell order, and order-sensitive series are replayed in
+//! cell order, so the worker count is invisible in every output.
+
+use psca_adapt::experiments::{chaos, table3};
+use psca_adapt::{CorpusTelemetry, ExperimentConfig};
+use psca_faults::ChaosSpec;
+use psca_workloads::{Archetype, PhaseGenerator};
+
+fn corpus(cfg: &ExperimentConfig) -> CorpusTelemetry {
+    let mut c = cfg.clone();
+    c.hdtr_apps = 8;
+    CorpusTelemetry::hdtr(&c)
+}
+
+fn cfg_with_jobs(jobs: usize) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick();
+    cfg.jobs = jobs;
+    cfg
+}
+
+#[test]
+fn table3_is_bit_identical_across_job_counts() {
+    let serial_cfg = cfg_with_jobs(1);
+    let parallel_cfg = cfg_with_jobs(4);
+    let serial = table3::run(&serial_cfg, &corpus(&serial_cfg)).to_string();
+    let parallel = table3::run(&parallel_cfg, &corpus(&parallel_cfg)).to_string();
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn chaos_sweep_is_bit_identical_across_job_counts() {
+    let spec = ChaosSpec::default_chaos();
+    let serial = chaos::chaos_sweep(&cfg_with_jobs(1), &spec).to_string();
+    let parallel = chaos::chaos_sweep(&cfg_with_jobs(4), &spec).to_string();
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn eval_is_bit_identical_across_job_counts() {
+    let mut traces = Vec::new();
+    for (i, a) in [
+        Archetype::DepChain,
+        Archetype::ScalarIlp,
+        Archetype::MemBound,
+        Archetype::Balanced,
+    ]
+    .iter()
+    .enumerate()
+    {
+        let mut gen = PhaseGenerator::new(a.center(), i as u64 + 50);
+        traces.push(psca_adapt::collect_paired(
+            &mut gen, 2_000, 24, 2_000, i as u32, "det", 1,
+        ));
+    }
+    let corpus = CorpusTelemetry { traces };
+    let run = |jobs: usize| {
+        let cfg = cfg_with_jobs(jobs);
+        let model = psca_adapt::zoo::train(psca_adapt::ModelKind::BestRf, &corpus, &cfg);
+        psca_adapt::experiments::evaluate_model_on_corpus(&model, &corpus, &cfg)
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(serial.overall, parallel.overall);
+    assert_eq!(serial.per_app.len(), parallel.per_app.len());
+    for ((an, am), (bn, bm)) in serial.per_app.iter().zip(parallel.per_app.iter()) {
+        assert_eq!(an, bn);
+        assert_eq!(am, bm, "per-app metrics diverged for {an}");
+    }
+}
+
+#[test]
+fn cache_hit_rerun_matches_cold_run() {
+    let dir = std::env::temp_dir().join(format!("psca-determinism-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = cfg_with_jobs(2);
+    cfg.hdtr_apps = 6;
+    cfg.sweep_cache = Some(dir.clone());
+    let cold = CorpusTelemetry::hdtr(&cfg);
+    let warm = CorpusTelemetry::hdtr(&cfg);
+    let mut uncached_cfg = cfg.clone();
+    uncached_cfg.sweep_cache = None;
+    let uncached = CorpusTelemetry::hdtr(&uncached_cfg);
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(cold.traces.len(), warm.traces.len());
+    assert_eq!(cold.traces.len(), uncached.traces.len());
+    for i in 0..cold.traces.len() {
+        for (a, b) in [
+            (&cold.traces[i], &warm.traces[i]),
+            (&cold.traces[i], &uncached.traces[i]),
+        ] {
+            assert_eq!(a.app_name, b.app_name);
+            assert_eq!(a.app_id, b.app_id);
+            assert_eq!(a.insts, b.insts);
+            assert_eq!(a.cycles_hi, b.cycles_hi);
+            assert_eq!(a.cycles_lo, b.cycles_lo);
+            assert_eq!(a.rows_hi, b.rows_hi);
+            assert_eq!(a.rows_lo, b.rows_lo);
+            assert_eq!(a.energy_hi, b.energy_hi);
+            assert_eq!(a.energy_lo, b.energy_lo);
+        }
+    }
+}
