@@ -12,9 +12,124 @@ use crate::guardrail::{Guardrail, GuardrailConfig};
 use crate::sla::Sla;
 use crate::train::{TrainedAdaptModel, HORIZON};
 use psca_cpu::{ClusterSim, CpuConfig, Mode, ModeSwitchFault};
-use psca_faults::{ActuationFault, FaultCounts, FaultInjector, PredictionFault};
+use psca_faults::{ActuationFault, ChaosSpec, FaultCounts, FaultInjector, PredictionFault};
 use psca_trace::{TraceSource, VecTrace};
 use psca_uc::image;
+
+/// Knobs modulating a closed-loop run beyond the mandatory inputs.
+///
+/// `Default` is the healthy fast path: no fault injection, default
+/// degradation-ladder tuning, hardened bookkeeping off.
+#[derive(Debug, Clone, Default)]
+pub struct ClosedLoopOptions {
+    /// Chaos to inject on the loop. `None` (or an all-zero spec) keeps
+    /// the run on the fault-free fast path unless
+    /// [`hardened`](ClosedLoopOptions::hardened) forces the watchdog in.
+    pub faults: Option<ChaosSpec>,
+    /// Degradation-ladder tuning; consulted only on the hardened path.
+    pub degrade: DegradeConfig,
+    /// Run the hardened engine (watchdog + degradation accounting) even
+    /// with no faults enabled. The accounting result stays bit-identical
+    /// to the fast path — a regression test enforces it.
+    pub hardened: bool,
+}
+
+/// One closed-loop simulation, fully specified: the typed replacement for
+/// the old positional `run_closed_loop(model, warm, window, interval)` /
+/// `run_closed_loop_hardened(..)` entry points. The daemon, the CLI, and
+/// the experiment runners all build one of these.
+///
+/// ```ignore
+/// let res = ClosedLoopRequest::new(&model, &warm, &window, cfg.interval_insts)
+///     .with_faults(ChaosSpec::parse("uc_drop=0.05")?)
+///     .run_hardened();
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClosedLoopRequest<'a> {
+    /// Trained per-mode predictor pair to deploy in the loop.
+    pub model: &'a TrainedAdaptModel,
+    /// Warm-up trace, replayed with telemetry discarded.
+    pub warm: &'a VecTrace,
+    /// Measured trace region.
+    pub window: &'a VecTrace,
+    /// Base telemetry interval in instructions.
+    pub interval_insts: u64,
+    /// Everything optional.
+    pub options: ClosedLoopOptions,
+}
+
+impl<'a> ClosedLoopRequest<'a> {
+    /// A request with default [`ClosedLoopOptions`].
+    pub fn new(
+        model: &'a TrainedAdaptModel,
+        warm: &'a VecTrace,
+        window: &'a VecTrace,
+        interval_insts: u64,
+    ) -> ClosedLoopRequest<'a> {
+        ClosedLoopRequest {
+            model,
+            warm,
+            window,
+            interval_insts,
+            options: ClosedLoopOptions::default(),
+        }
+    }
+
+    /// Injects `spec` chaos on the loop (implies the hardened engine).
+    pub fn with_faults(mut self, spec: ChaosSpec) -> ClosedLoopRequest<'a> {
+        self.options.faults = Some(spec);
+        self
+    }
+
+    /// Overrides the degradation-ladder tuning.
+    pub fn with_degrade(mut self, cfg: DegradeConfig) -> ClosedLoopRequest<'a> {
+        self.options.degrade = cfg;
+        self
+    }
+
+    /// Forces the hardened engine even without faults.
+    pub fn hardened(mut self) -> ClosedLoopRequest<'a> {
+        self.options.hardened = true;
+        self
+    }
+
+    /// True when any configured fault rate is nonzero.
+    fn faults_enabled(&self) -> bool {
+        self.options
+            .faults
+            .as_ref()
+            .is_some_and(|s| s.any_enabled())
+    }
+
+    /// Runs the loop and returns the plain accounting.
+    ///
+    /// Fault-free, non-hardened requests take the fast engine; anything
+    /// else runs hardened and discards the extra bookkeeping (use
+    /// [`run_hardened`](ClosedLoopRequest::run_hardened) to keep it).
+    pub fn run(&self) -> ClosedLoopResult {
+        if !self.options.hardened && !self.faults_enabled() {
+            return plain_loop(self.model, self.warm, self.window, self.interval_insts);
+        }
+        self.run_hardened().result
+    }
+
+    /// Runs the hardened engine and returns the full accounting:
+    /// closed-loop result plus degradation, fault, and image bookkeeping.
+    pub fn run_hardened(&self) -> HardenedLoopResult {
+        let mut injector = match &self.options.faults {
+            Some(spec) => FaultInjector::new(spec.clone()),
+            None => FaultInjector::disabled(),
+        };
+        hardened_loop(
+            self.model,
+            self.warm,
+            self.window,
+            self.interval_insts,
+            &mut injector,
+            self.options.degrade,
+        )
+    }
+}
 
 /// Outcome of one closed-loop run over a trace.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,7 +181,18 @@ impl ClosedLoopResult {
 /// `warm` is replayed first (telemetry discarded); `window` is the
 /// measured region. The prediction window is the model's granularity in
 /// base intervals of `interval_insts`.
+#[deprecated(note = "build a `ClosedLoopRequest` and call `run()`")]
 pub fn run_closed_loop(
+    model: &TrainedAdaptModel,
+    warm: &VecTrace,
+    window: &VecTrace,
+    interval_insts: u64,
+) -> ClosedLoopResult {
+    ClosedLoopRequest::new(model, warm, window, interval_insts).run()
+}
+
+/// The fault-free fast engine behind [`ClosedLoopRequest::run`].
+fn plain_loop(
     model: &TrainedAdaptModel,
     warm: &VecTrace,
     window: &VecTrace,
@@ -189,8 +315,8 @@ pub fn run_closed_loop(
 /// degradation and fault bookkeeping.
 #[derive(Debug, Clone)]
 pub struct HardenedLoopResult {
-    /// The closed-loop accounting (bit-identical to [`run_closed_loop`]
-    /// when the injector is disabled).
+    /// The closed-loop accounting (bit-identical to
+    /// [`ClosedLoopRequest::run`] when the injector is disabled).
     pub result: ClosedLoopResult,
     /// Degradation-ladder residency and transitions.
     pub degrade: DegradeSummary,
@@ -202,8 +328,8 @@ pub struct HardenedLoopResult {
     pub window_ipc: Vec<f64>,
 }
 
-/// [`run_closed_loop`] with fault injection and the graceful-degradation
-/// ladder of [`crate::degrade`].
+/// [`ClosedLoopRequest::run`] with fault injection and the
+/// graceful-degradation ladder of [`crate::degrade`].
 ///
 /// Each window the injector may perturb telemetry rows, drop/delay/corrupt
 /// the scheduled prediction, flip bits in the firmware image, or lose the
@@ -213,9 +339,27 @@ pub struct HardenedLoopResult {
 /// guardrail heuristic, or pinned high-performance.
 ///
 /// With a disabled injector the healthy path performs exactly the same
-/// simulator calls as [`run_closed_loop`], so the result is bit-identical
-/// (a regression test enforces this).
+/// simulator calls as [`ClosedLoopRequest::run`], so the result is
+/// bit-identical (a regression test enforces this).
+#[deprecated(
+    note = "build a `ClosedLoopRequest` with fault/degrade options and call \
+                     `run_hardened()`"
+)]
 pub fn run_closed_loop_hardened(
+    model: &TrainedAdaptModel,
+    warm: &VecTrace,
+    window: &VecTrace,
+    interval_insts: u64,
+    injector: &mut FaultInjector,
+    degrade_cfg: DegradeConfig,
+) -> HardenedLoopResult {
+    hardened_loop(model, warm, window, interval_insts, injector, degrade_cfg)
+}
+
+/// The watchdog engine behind [`ClosedLoopRequest::run_hardened`]. Takes
+/// the injector by reference so the deprecated wrapper can pass a
+/// caller-owned one.
+fn hardened_loop(
     model: &TrainedAdaptModel,
     warm: &VecTrace,
     window: &VecTrace,
@@ -245,7 +389,7 @@ pub fn run_closed_loop_hardened(
     let mut window_ipc = Vec::new();
     let mut images_rejected = 0u64;
     // Window scratch + metric handles, hoisted exactly as in
-    // [`run_closed_loop`].
+    // [`plain_loop`].
     let mut rows: Vec<Vec<f64>> = Vec::with_capacity(g);
     let mut row_cycles: Vec<u64> = Vec::with_capacity(g);
     let windows_ctr = psca_obs::counter("adapt.windows");
@@ -494,7 +638,7 @@ mod tests {
         let (_, model, cfg) = corpus_and_model();
         let mut gen = PhaseGenerator::new(Archetype::Balanced.center(), 99);
         let (warm, window) = record_trace(&mut gen, 2_000, 48_000);
-        let res = run_closed_loop(&model, &warm, &window, cfg.interval_insts);
+        let res = ClosedLoopRequest::new(&model, &warm, &window, cfg.interval_insts).run();
         assert_eq!(res.instructions, 48_000);
         assert!(res.energy > 0.0);
         assert!(res.cycles > 0);
@@ -512,7 +656,7 @@ mod tests {
         let (_, model, cfg) = corpus_and_model();
         let mut gen = PhaseGenerator::new(Archetype::DepChain.center(), 77);
         let (warm, window) = record_trace(&mut gen, 2_000, 64_000);
-        let res = run_closed_loop(&model, &warm, &window, cfg.interval_insts);
+        let res = ClosedLoopRequest::new(&model, &warm, &window, cfg.interval_insts).run();
         assert!(
             res.low_power_residency > 0.4,
             "serial workload should gate: residency {}",
@@ -525,7 +669,7 @@ mod tests {
         let (_, model, cfg) = corpus_and_model();
         let mut gen = PhaseGenerator::new(Archetype::ScalarIlp.center(), 78);
         let (warm, window) = record_trace(&mut gen, 2_000, 64_000);
-        let res = run_closed_loop(&model, &warm, &window, cfg.interval_insts);
+        let res = ClosedLoopRequest::new(&model, &warm, &window, cfg.interval_insts).run();
         assert!(
             res.low_power_residency < 0.5,
             "wide workload should not gate: residency {}",
@@ -538,7 +682,7 @@ mod tests {
         let (_, model, cfg) = corpus_and_model();
         let mut gen = PhaseGenerator::new(Archetype::DepChain.center(), 55);
         let (warm, window) = record_trace(&mut gen, 2_000, 64_000);
-        let adaptive = run_closed_loop(&model, &warm, &window, cfg.interval_insts);
+        let adaptive = ClosedLoopRequest::new(&model, &warm, &window, cfg.interval_insts).run();
         // Static high-performance baseline on the identical trace.
         let mut gen2 = PhaseGenerator::new(Archetype::DepChain.center(), 55);
         let paired = collect_paired(&mut gen2, 2_000, 32, 2_000, 0, "t", 1);
@@ -558,7 +702,7 @@ mod tests {
         let (_, model, cfg) = corpus_and_model();
         let mut gen = PhaseGenerator::new(Archetype::Balanced.center(), 31);
         let (warm, window) = record_trace(&mut gen, 2_000, 40_000);
-        let res = run_closed_loop(&model, &warm, &window, cfg.interval_insts);
+        let res = ClosedLoopRequest::new(&model, &warm, &window, cfg.interval_insts).run();
         let truth = vec![1u8; res.modes.len()];
         let (t, p) = res.aligned_labels(&truth);
         assert_eq!(t.len(), p.len());

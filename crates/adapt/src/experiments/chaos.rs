@@ -7,13 +7,13 @@
 //! (`docs/ROBUSTNESS.md`).
 
 use crate::config::ExperimentConfig;
-use crate::controller::{record_trace, run_closed_loop_hardened};
-use crate::degrade::{DegradeConfig, DegradeLevel};
+use crate::controller::{record_trace, ClosedLoopRequest};
+use crate::degrade::DegradeLevel;
 use crate::sla::Sla;
 use crate::train::ModelKind;
 use crate::zoo;
 use psca_cpu::{ClusterSim, CpuConfig};
-use psca_faults::{ChaosSpec, FaultInjector};
+use psca_faults::ChaosSpec;
 use psca_trace::VecTrace;
 use psca_workloads::{Archetype, PhaseGenerator};
 
@@ -151,15 +151,9 @@ pub fn chaos_sweep(cfg: &ExperimentConfig, spec: &ChaosSpec) -> ChaosSweep {
             let (warm, window, refs) = &runs[i];
             let mut point_spec = spec.scaled(scale);
             point_spec.seed = spec.seed ^ (i as u64);
-            let mut inj = FaultInjector::new(point_spec);
-            let res = run_closed_loop_hardened(
-                &model,
-                warm,
-                window,
-                cfg.interval_insts,
-                &mut inj,
-                DegradeConfig::default(),
-            );
+            let res = ClosedLoopRequest::new(&model, warm, window, cfg.interval_insts)
+                .with_faults(point_spec)
+                .run_hardened();
             let low = res
                 .result
                 .modes

@@ -8,7 +8,7 @@
 //! the paper's t→t+2 application delay, charges each window the energy
 //! and cycles of the mode it ran in, and scores predictions against
 //! ground truth. (The real instruction-level closed loop lives in
-//! [`crate::run_closed_loop`] and is cross-validated against this
+//! [`crate::ClosedLoopRequest`] and is cross-validated against this
 //! emulation in the integration tests.)
 
 use crate::config::ExperimentConfig;

@@ -9,8 +9,8 @@ use psca_cpu::Mode;
 use psca_ml::crossval::group_folds;
 use psca_ml::metrics::Confusion;
 use psca_ml::{
-    KernelSvm, LinearSvm, LogisticRegression, Mlp, MlpConfig, RandomForest, RandomForestConfig,
-    Standardizer,
+    Classifier, KernelSvm, LinearSvm, LogisticRegression, Mlp, MlpConfig, RandomForest,
+    RandomForestConfig, Standardizer,
 };
 use psca_telemetry::Event;
 use psca_uc::{ops_budget, BudgetRow, CpuSpec, FirmwareModel, McuSpec};
@@ -72,13 +72,11 @@ pub fn run(cfg: &ExperimentConfig, hdtr: &CorpusTelemetry) -> Table3 {
     let tune8 = std8.transform_dataset(&tune8_raw);
     let val8 = std8.transform_dataset(&raw8.subset(&folds[0].validate));
 
-    let pgos_of = |fw: &FirmwareModel, val: &psca_ml::Dataset| -> f64 {
+    // Model-family agnostic by construction: scoring sees only the
+    // `Classifier` surface, never the concrete firmware variant.
+    let pgos_of = |clf: &dyn Classifier, val: &psca_ml::Dataset| -> f64 {
         let preds: Vec<u8> = (0..val.len())
-            .map(|i| {
-                fw.predict(val.sample(i).0)
-                    .expect("validation features match firmware dimensionality")
-                    as u8
-            })
+            .map(|i| clf.predict(val.sample(i).0) as u8)
             .collect();
         Confusion::from_predictions(val.labels(), &preds).pgos()
     };
@@ -271,7 +269,7 @@ fn row(
     val: &psca_ml::Dataset,
     paper_ops: u64,
     paper_pgos: f64,
-    pgos_of: &dyn Fn(&FirmwareModel, &psca_ml::Dataset) -> f64,
+    pgos_of: &dyn Fn(&dyn Classifier, &psca_ml::Dataset) -> f64,
 ) -> ModelRow {
     ModelRow {
         description: description.to_string(),

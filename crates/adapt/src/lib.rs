@@ -18,12 +18,12 @@
 //! - [`TrainedAdaptModel`] and the [`zoo`] — the evaluated adaptation
 //!   models: CHARSTAR's expert-counter MLP, SRCH logistic regression on
 //!   counter histograms, and the paper's Best MLP / Best RF (§7);
-//! - [`run_closed_loop`] — the deployed system: telemetry interval →
+//! - [`ClosedLoopRequest`] — the deployed system: telemetry interval →
 //!   firmware inference → cluster gating at `t+2`, with PPW/RSV scoring
 //!   against ground truth;
-//! - [`run_closed_loop_hardened`] and [`degrade`] — the same loop under
-//!   injected telemetry/µC/actuation faults (`psca-faults`), protected by
-//!   a graceful-degradation ladder;
+//! - [`ClosedLoopRequest::run_hardened`] and [`degrade`] — the same loop
+//!   under injected telemetry/µC/actuation faults (`psca-faults`),
+//!   protected by a graceful-degradation ladder;
 //! - [`experiments`] — one driver per table and figure of the paper;
 //! - [`ExperimentConfig`] — the scaled experiment grid (quick vs. full).
 
@@ -43,10 +43,12 @@ mod paired;
 mod sla;
 mod train;
 
-pub use config::ExperimentConfig;
+pub use config::{ConfigError, ExperimentConfig, ExperimentConfigBuilder};
 pub use controller::{
-    record_trace, run_closed_loop, run_closed_loop_hardened, ClosedLoopResult, HardenedLoopResult,
+    record_trace, ClosedLoopOptions, ClosedLoopRequest, ClosedLoopResult, HardenedLoopResult,
 };
+#[allow(deprecated)]
+pub use controller::{run_closed_loop, run_closed_loop_hardened};
 pub use paired::{collect_paired, CorpusTelemetry, TraceTelemetry};
 pub use sla::Sla;
 pub use train::{build_dataset, tune_threshold, Featurizer, ModelKind, TrainedAdaptModel, HORIZON};

@@ -10,7 +10,9 @@ use crate::train::{
     TrainedAdaptModel, THRESHOLD_TARGET_RSV,
 };
 use psca_cpu::Mode;
-use psca_ml::{Dataset, LogisticRegression, Mlp, MlpConfig, RandomForest, RandomForestConfig};
+use psca_ml::{
+    Classifier, Dataset, LogisticRegression, Mlp, MlpConfig, RandomForest, RandomForestConfig,
+};
 use psca_telemetry::Event;
 use psca_uc::{ops_budget, CpuSpec, FirmwareModel, McuSpec};
 
@@ -120,13 +122,11 @@ fn round_error(
     if data.is_empty() {
         return 0.0;
     }
+    // Dispatch through the unified trait: the loss computation never needs
+    // to know which model family the round trained.
+    let clf: &dyn Classifier = fw;
     let wrong = (0..data.len())
-        .filter(|&i| {
-            let pred = fw
-                .predict(data.features().row(i))
-                .expect("round features match firmware dimensionality");
-            pred as u8 != data.labels()[i]
-        })
+        .filter(|&i| clf.predict(data.features().row(i)) as u8 != data.labels()[i])
         .count();
     wrong as f64 / data.len() as f64
 }

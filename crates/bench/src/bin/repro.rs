@@ -11,6 +11,8 @@
 //! repro -- all --no-cache            # disable the persistent sweep cache
 //! repro -- --chaos default --quick   # chaos harness; exit 1 on SLA breach
 //! repro -- --chaos uc.drop=0.1,seed=7 chaos-sweep
+//! repro -- serve                     # adaptation-as-a-service daemon
+//! repro -- serve --addr 127.0.0.1:0 --models best-rf,charstar --seed 7
 //! ```
 //!
 //! Observability: every experiment driver scopes the global metric
@@ -143,7 +145,120 @@ fn parse_cli() -> Cli {
     cli
 }
 
+/// Every zoo kind, for `--models` slug resolution.
+const SERVE_KINDS: [psca_adapt::ModelKind; 5] = [
+    psca_adapt::ModelKind::BestRf,
+    psca_adapt::ModelKind::BestMlp,
+    psca_adapt::ModelKind::Charstar,
+    psca_adapt::ModelKind::SrchFine,
+    psca_adapt::ModelKind::SrchCoarse,
+];
+
+/// `repro serve`: trains a registry and runs the psca-serve daemon until
+/// a client posts `/v1/shutdown` (or the process is signalled).
+fn serve_main(args: &[String]) -> ! {
+    use psca_serve::{Daemon, ModelRegistry, ServeConfig};
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:8186".to_string(),
+        ..ServeConfig::default()
+    };
+    let mut seed = 1u64;
+    let mut kinds = vec![
+        psca_adapt::ModelKind::BestRf,
+        psca_adapt::ModelKind::BestMlp,
+    ];
+    let usage = "[repro] serve flags: --addr HOST:PORT --workers N --queue N \
+                 --max-connections N --chaos SPEC --seed N --models slug[,slug...] \
+                 (slugs: best-rf best-mlp charstar srch-fine srch-coarse)";
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        i += 1;
+        let value = || {
+            args.get(i).cloned().unwrap_or_else(|| {
+                eprintln!("[repro] {flag} requires a value\n{usage}");
+                std::process::exit(2);
+            })
+        };
+        match flag {
+            "--addr" => config.addr = value(),
+            "--workers" => config.workers = parse_or_die(&value(), flag),
+            "--queue" => config.queue_capacity = parse_or_die(&value(), flag),
+            "--max-connections" => config.max_connections = parse_or_die(&value(), flag),
+            "--seed" => seed = parse_or_die(&value(), flag),
+            "--chaos" => match ChaosSpec::parse(&value()) {
+                Ok(spec) => config.chaos = Some(spec),
+                Err(e) => {
+                    eprintln!("[repro] bad --chaos spec: {e}");
+                    std::process::exit(2);
+                }
+            },
+            "--models" => {
+                kinds = value()
+                    .split(',')
+                    .map(|slug| {
+                        SERVE_KINDS
+                            .into_iter()
+                            .find(|&k| psca_serve::registry::kind_slug(k) == slug.trim())
+                            .unwrap_or_else(|| {
+                                eprintln!("[repro] unknown model slug '{slug}'\n{usage}");
+                                std::process::exit(2);
+                            })
+                    })
+                    .collect();
+            }
+            other => {
+                eprintln!("[repro] unknown serve flag '{other}'\n{usage}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    psca_obs::init_from_env();
+    let cfg = ExperimentConfig::builder()
+        .seed(seed)
+        .build()
+        .unwrap_or_else(|e| {
+            eprintln!("[repro] bad serve config: {e}");
+            std::process::exit(2);
+        });
+    eprintln!(
+        "[repro] training serving registry ({} models)...",
+        kinds.len()
+    );
+    let registry = ModelRegistry::train(cfg, &kinds);
+    let daemon = match Daemon::start(config, registry) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("[repro] bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The resolved address goes to stdout so scripts can capture an
+    // OS-assigned port (`--addr 127.0.0.1:0`).
+    println!("{}", daemon.local_addr());
+    eprintln!(
+        "[repro] serving on http://{} — POST /v1/shutdown to stop",
+        daemon.local_addr()
+    );
+    daemon.wait();
+    eprintln!("[repro] serve: drained and stopped");
+    std::process::exit(0)
+}
+
+/// Parses a flag value or exits with a usage error.
+fn parse_or_die<T: std::str::FromStr>(value: &str, flag: &str) -> T {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("[repro] {flag} got unparseable value '{value}'");
+        std::process::exit(2);
+    })
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        serve_main(&args[1..]);
+    }
     let cli = parse_cli();
     // Parse the chaos spec up front so a typo fails fast, before any
     // corpus simulation.

@@ -4,7 +4,7 @@
 //! loop. The paper's premise is post-silicon reality: shipped CPUs see
 //! noisy counters, late firmware predictions, flipped bits in pushed
 //! images, and lost actuation requests. This crate models those hazards
-//! so `adapt::run_closed_loop_hardened` can demonstrate *graceful
+//! so `adapt::ClosedLoopRequest::run_hardened` can demonstrate *graceful
 //! degradation* instead of assuming a perfect substrate.
 //!
 //! Three fault surfaces, matching the loop's three stages

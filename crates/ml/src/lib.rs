@@ -20,10 +20,13 @@
 //! - [`histogram`] — counter-histogram featurization for the SRCH
 //!   baseline (Dubach et al.);
 //! - [`linalg`] / [`eig`] — the dense matrix and symmetric-eigensolver
-//!   substrate everything above is built on.
+//!   substrate everything above is built on;
+//! - [`Classifier`] — the object-safe trait unifying every model family
+//!   behind one `predict` / `predict_proba` / `n_features` surface.
 
 #![warn(missing_docs)]
 
+pub mod classifier;
 pub mod crossval;
 pub mod eig;
 pub mod gbdt;
@@ -40,6 +43,7 @@ mod mlp;
 mod svm;
 mod tree;
 
+pub use classifier::Classifier;
 pub use dataset::{Dataset, Standardizer};
 pub use forest::{RandomForest, RandomForestConfig};
 pub use linalg::Matrix;

@@ -1,0 +1,611 @@
+//! The daemon: a multi-threaded TCP/HTTP server with a bounded request
+//! queue, explicit backpressure, per-endpoint metrics, optional chaos on
+//! the serving path, and graceful drain-on-shutdown.
+//!
+//! The transport extends the single-threaded head-only reader of
+//! `psca_obs::exporter` with `Content-Length` body reads, a worker pool
+//! (accept thread pushes connections into a `Mutex<VecDeque>` guarded by
+//! condvars, workers pop), and the same std-only discipline: no external
+//! HTTP or threading dependency anywhere.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use psca_adapt::{record_trace, ClosedLoopRequest};
+use psca_faults::{ChaosSpec, FaultInjector, PredictionFault};
+use psca_obs::Json;
+use psca_workloads::PhaseGenerator;
+
+use crate::api::{self, ApiError, ClosedLoopSpec, PredictRequest};
+use crate::registry::ModelRegistry;
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Daemon tuning knobs. `Default` gives a loopback daemon on an
+/// OS-assigned port with auto-sized workers and a 64-deep queue.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` for an OS-assigned loopback port).
+    pub addr: String,
+    /// Worker threads; `0` resolves via `PSCA_JOBS` / available cores.
+    pub workers: usize,
+    /// Bounded queue depth; connections past this are answered `429`.
+    pub queue_capacity: usize,
+    /// Ceiling on queued + in-flight connections; past it, `503`.
+    pub max_connections: usize,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+    /// Optional chaos injected on the prediction endpoints.
+    pub chaos: Option<ChaosSpec>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            queue_capacity: 64,
+            max_connections: 256,
+            max_body_bytes: 1 << 20,
+            chaos: None,
+        }
+    }
+}
+
+/// State shared between the accept thread and the worker pool.
+struct Shared {
+    registry: ModelRegistry,
+    config: ServeConfig,
+    local_addr: SocketAddr,
+    jobs: usize,
+    queue: Mutex<VecDeque<TcpStream>>,
+    work_ready: Condvar,
+    idle: Condvar,
+    stop: AtomicBool,
+    hold: AtomicBool,
+    inflight: AtomicUsize,
+    chaos: Option<Mutex<FaultInjector>>,
+}
+
+impl Shared {
+    fn queue_depth_gauge(&self, depth: usize) {
+        psca_obs::gauge("serve.queue.depth").set(depth as f64);
+    }
+
+    fn inflight_gauge(&self) {
+        psca_obs::gauge("serve.inflight").set(self.inflight.load(Ordering::Relaxed) as f64);
+    }
+
+    /// Wakes everyone: workers (to drain and exit), `quiesce` waiters,
+    /// and the accept thread (via a dummy loopback connection).
+    fn trigger_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        {
+            // Take the queue lock so a worker blocked in `wait` cannot
+            // miss the notification.
+            let _q = self.queue.lock().unwrap();
+            self.work_ready.notify_all();
+            self.idle.notify_all();
+        }
+        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(200));
+    }
+}
+
+/// A running daemon. Dropping it shuts it down and joins every thread.
+pub struct Daemon {
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Binds, trains nothing (the registry arrives pre-trained), and
+    /// starts the accept thread plus worker pool.
+    ///
+    /// # Errors
+    /// Propagates the bind failure if `config.addr` is unavailable.
+    pub fn start(config: ServeConfig, registry: ModelRegistry) -> io::Result<Daemon> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let jobs = psca_exec::resolve_jobs(config.workers);
+        let chaos = config
+            .chaos
+            .clone()
+            .filter(ChaosSpec::any_enabled)
+            .map(|spec| Mutex::new(FaultInjector::new(spec)));
+        let shared = Arc::new(Shared {
+            registry,
+            config,
+            local_addr,
+            jobs,
+            queue: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+            idle: Condvar::new(),
+            stop: AtomicBool::new(false),
+            hold: AtomicBool::new(false),
+            inflight: AtomicUsize::new(0),
+            chaos,
+        });
+        if psca_obs::enabled(psca_obs::Level::Info) {
+            psca_obs::emit(
+                psca_obs::Level::Info,
+                "serve.start",
+                &[
+                    ("addr", local_addr.to_string().into()),
+                    ("workers", (jobs as u64).into()),
+                ],
+            );
+        }
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("psca-serve-accept".to_string())
+                .spawn(move || accept_loop(listener, &shared))?
+        };
+        let workers = (0..jobs)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("psca-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(Daemon {
+            shared,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Pauses the worker pool (connections keep queueing). Test hook for
+    /// deterministic backpressure; a later [`Daemon::release`] or
+    /// shutdown drains whatever queued meanwhile.
+    pub fn hold(&self) {
+        self.shared.hold.store(true, Ordering::SeqCst);
+    }
+
+    /// Resumes a held worker pool.
+    pub fn release(&self) {
+        self.shared.hold.store(false, Ordering::SeqCst);
+        let _q = self.shared.queue.lock().unwrap();
+        self.shared.work_ready.notify_all();
+    }
+
+    /// Blocks until the queue is empty and no request is in flight.
+    pub fn quiesce(&self) {
+        let mut q = self.shared.queue.lock().unwrap();
+        while !q.is_empty() || self.shared.inflight.load(Ordering::SeqCst) > 0 {
+            let (guard, _) = self
+                .shared
+                .idle
+                .wait_timeout(q, Duration::from_millis(50))
+                .unwrap();
+            q = guard;
+        }
+    }
+
+    /// Blocks until the daemon stops (e.g. a client posts
+    /// `/v1/shutdown`), then joins every thread.
+    pub fn wait(mut self) {
+        self.join();
+    }
+
+    /// Initiates shutdown, drains queued requests, and joins every
+    /// thread. Queued connections are answered, not dropped.
+    pub fn shutdown(mut self) {
+        self.shared.trigger_stop();
+        self.join();
+    }
+
+    fn join(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.shared.trigger_stop();
+        self.join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Shared) {
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = stream else { continue };
+        let depth = shared.queue.lock().unwrap().len();
+        let open = depth + shared.inflight.load(Ordering::SeqCst);
+        if open >= shared.config.max_connections {
+            psca_obs::counter("serve.rejected.connlimit").inc();
+            let e = ApiError::unavailable(
+                "connection_limit",
+                format!(
+                    "open connection ceiling ({}) reached",
+                    shared.config.max_connections
+                ),
+            );
+            respond(&mut stream, e.status, "application/json", &e.to_json());
+            continue;
+        }
+        if depth >= shared.config.queue_capacity {
+            psca_obs::counter("serve.rejected.backpressure").inc();
+            let e = ApiError::backpressure(shared.config.queue_capacity);
+            respond(&mut stream, e.status, "application/json", &e.to_json());
+            continue;
+        }
+        let mut q = shared.queue.lock().unwrap();
+        q.push_back(stream);
+        shared.queue_depth_gauge(q.len());
+        drop(q);
+        shared.work_ready.notify_one();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                let stopping = shared.stop.load(Ordering::SeqCst);
+                // A held pool leaves work queued (backpressure tests);
+                // shutdown overrides the hold so the drain completes.
+                if !shared.hold.load(Ordering::SeqCst) || stopping {
+                    if let Some(s) = q.pop_front() {
+                        shared.queue_depth_gauge(q.len());
+                        break Some(s);
+                    }
+                }
+                if stopping {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .work_ready
+                    .wait_timeout(q, Duration::from_millis(100))
+                    .unwrap();
+                q = guard;
+            }
+        };
+        let Some(stream) = stream else { break };
+        shared.inflight.fetch_add(1, Ordering::SeqCst);
+        shared.inflight_gauge();
+        let wants_shutdown = handle_connection(stream, shared);
+        shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        shared.inflight_gauge();
+        {
+            let _q = shared.queue.lock().unwrap();
+            shared.idle.notify_all();
+        }
+        if wants_shutdown {
+            shared.trigger_stop();
+        }
+    }
+}
+
+/// One parsed HTTP request.
+struct HttpRequest {
+    method: String,
+    path: String,
+    accept_ndjson: bool,
+    body: String,
+}
+
+/// Reads the head, then exactly `Content-Length` body bytes.
+fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<HttpRequest, ApiError> {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let mut buf: Vec<u8> = Vec::with_capacity(2048);
+    let mut chunk = [0u8; 2048];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(ApiError::too_large("request head too large"));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(ApiError::bad_request("connection closed mid-request")),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => return Err(ApiError::bad_request("read timed out")),
+        }
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_ascii_uppercase();
+    let path = parts.next().unwrap_or_default().to_string();
+    if method.is_empty() || path.is_empty() {
+        return Err(ApiError::bad_request("malformed request line"));
+    }
+    let mut content_length: Option<usize> = None;
+    let mut accept_ndjson = false;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        match name.to_ascii_lowercase().as_str() {
+            "content-length" => content_length = value.parse().ok(),
+            "accept" => accept_ndjson = value.contains("application/x-ndjson"),
+            _ => {}
+        }
+    }
+    let body = if method == "POST" {
+        // A missing Content-Length means an empty body (fine for
+        // `/v1/shutdown`); body-bearing routes answer 411 themselves.
+        let len = content_length.unwrap_or(0);
+        if len > max_body {
+            return Err(ApiError::too_large(format!(
+                "body of {len} bytes exceeds the {max_body}-byte limit"
+            )));
+        }
+        let mut body = buf[head_end + 4..].to_vec();
+        while body.len() < len {
+            match stream.read(&mut chunk) {
+                Ok(0) => return Err(ApiError::bad_request("connection closed mid-body")),
+                Ok(n) => body.extend_from_slice(&chunk[..n]),
+                Err(_) => return Err(ApiError::bad_request("body read timed out")),
+            }
+        }
+        body.truncate(len);
+        String::from_utf8(body).map_err(|_| ApiError::bad_request("body is not UTF-8"))?
+    } else {
+        String::new()
+    };
+    Ok(HttpRequest {
+        method,
+        path,
+        accept_ndjson,
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Endpoint label for metric names.
+fn endpoint_key(method: &str, path: &str) -> &'static str {
+    match (method, path) {
+        (_, "/v1/predict") => "predict",
+        (_, "/v1/closed-loop") => "closed_loop",
+        (_, "/v1/models") => "models",
+        (_, "/v1/shutdown") => "shutdown",
+        (_, "/metrics") => "metrics",
+        (_, "/healthz") => "healthz",
+        _ => "other",
+    }
+}
+
+/// Serves one connection. Returns true when the client requested
+/// daemon shutdown.
+fn handle_connection(mut stream: TcpStream, shared: &Shared) -> bool {
+    let started = Instant::now();
+    let (key, wants_shutdown) = match read_request(&mut stream, shared.config.max_body_bytes) {
+        Ok(req) => {
+            let key = endpoint_key(&req.method, &req.path);
+            psca_obs::counter(&format!("serve.{key}.requests")).inc();
+            let wants_shutdown = match route(&req, shared, &mut stream) {
+                Ok(wants_shutdown) => wants_shutdown,
+                Err(e) => {
+                    psca_obs::counter(&format!("serve.{key}.errors")).inc();
+                    respond(&mut stream, e.status, "application/json", &e.to_json());
+                    false
+                }
+            };
+            (key, wants_shutdown)
+        }
+        Err(e) => {
+            psca_obs::counter("serve.other.errors").inc();
+            respond(&mut stream, e.status, "application/json", &e.to_json());
+            ("other", false)
+        }
+    };
+    let micros = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    psca_obs::histogram(&format!("serve.{key}.latency_us")).record(micros);
+    wants_shutdown
+}
+
+/// Dispatches a parsed request. `Ok(true)` means shut the daemon down.
+fn route(req: &HttpRequest, shared: &Shared, stream: &mut TcpStream) -> Result<bool, ApiError> {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            let body = Json::obj(vec![
+                ("status", "ok".into()),
+                ("models", (shared.registry.len() as u64).into()),
+            ])
+            .to_string();
+            respond(stream, 200, "application/json", &body);
+            Ok(false)
+        }
+        ("GET", "/metrics") => {
+            let body = psca_obs::exporter::prometheus_text(&psca_obs::snapshot());
+            respond(stream, 200, "text/plain; version=0.0.4", &body);
+            Ok(false)
+        }
+        ("GET", "/v1/models") => {
+            respond(
+                stream,
+                200,
+                "application/json",
+                &shared.registry.models_json().to_string(),
+            );
+            Ok(false)
+        }
+        ("POST", "/v1/predict") => {
+            require_body(req)?;
+            maybe_inject_chaos(shared)?;
+            let parsed = PredictRequest::parse(&req.body)?;
+            let model = shared.registry.get(&parsed.model).ok_or_else(|| {
+                ApiError::not_found(format!("no model named \"{}\"", parsed.model))
+            })?;
+            parsed.check_dims(model)?;
+            let scored = api::score_rows(model, parsed.mode, &parsed.rows, shared.jobs);
+            if req.accept_ndjson {
+                respond(
+                    stream,
+                    200,
+                    "application/x-ndjson",
+                    &api::predict_ndjson(&scored),
+                );
+            } else {
+                respond(
+                    stream,
+                    200,
+                    "application/json",
+                    &api::predict_json(&parsed.model, &scored),
+                );
+            }
+            Ok(false)
+        }
+        ("POST", "/v1/closed-loop") => {
+            require_body(req)?;
+            maybe_inject_chaos(shared)?;
+            let spec = ClosedLoopSpec::parse(&req.body)?;
+            let body = run_closed_loop_endpoint(&spec, shared)?;
+            respond(stream, 200, "application/json", &body);
+            Ok(false)
+        }
+        ("POST", "/v1/shutdown") => {
+            let body = Json::obj(vec![("status", "draining".into())]).to_string();
+            respond(stream, 200, "application/json", &body);
+            Ok(true)
+        }
+        (method, path @ ("/healthz" | "/metrics" | "/v1/models")) => {
+            Err(ApiError::method_not_allowed(method, path))
+        }
+        (method, path @ ("/v1/predict" | "/v1/closed-loop" | "/v1/shutdown")) => {
+            Err(ApiError::method_not_allowed(method, path))
+        }
+        (_, path) => Err(ApiError::not_found(format!("no route for {path}"))),
+    }
+}
+
+/// Rejects body-bearing routes called without a body (411).
+fn require_body(req: &HttpRequest) -> Result<(), ApiError> {
+    if req.body.is_empty() {
+        return Err(ApiError {
+            status: 411,
+            code: "length_required",
+            message: format!("{} requires a JSON body with Content-Length", req.path),
+        });
+    }
+    Ok(())
+}
+
+/// Rolls the chaos injector (when configured) for one serving-path
+/// fault, mirroring the firmware fault classes: a dropped prediction or
+/// corrupted weights reject the request with 503, a latency overrun
+/// stalls it past its deadline but still answers.
+fn maybe_inject_chaos(shared: &Shared) -> Result<(), ApiError> {
+    let Some(chaos) = &shared.chaos else {
+        return Ok(());
+    };
+    let fault = {
+        let mut inj = chaos.lock().unwrap();
+        inj.begin_window();
+        inj.prediction_fault()
+    };
+    let Some(fault) = fault else { return Ok(()) };
+    psca_obs::counter("serve.chaos.injected").inc();
+    match fault {
+        PredictionFault::Dropped => Err(ApiError::unavailable(
+            "chaos_dropped",
+            "chaos: prediction dropped",
+        )),
+        PredictionFault::WeightCorruption => Err(ApiError::unavailable(
+            "chaos_corrupted",
+            "chaos: model weights corrupted",
+        )),
+        PredictionFault::LatencyOverrun => {
+            std::thread::sleep(Duration::from_millis(5));
+            Ok(())
+        }
+    }
+}
+
+/// Runs a seeded closed-loop simulation for the requested workload spec
+/// and renders the result summary.
+fn run_closed_loop_endpoint(spec: &ClosedLoopSpec, shared: &Shared) -> Result<String, ApiError> {
+    let model = shared
+        .registry
+        .get(&spec.model)
+        .ok_or_else(|| ApiError::not_found(format!("no model named \"{}\"", spec.model)))?;
+    let cfg = shared.registry.config();
+    let mut gen = PhaseGenerator::new(spec.archetype.center(), spec.seed);
+    let window_insts = spec.windows * model.granularity_insts(cfg.interval_insts);
+    let (warm, window) = record_trace(&mut gen, spec.warm_insts, window_insts);
+    let mut request = ClosedLoopRequest::new(model, &warm, &window, cfg.interval_insts);
+    if let Some(chaos) = &spec.chaos {
+        request = request.with_faults(chaos.clone());
+    }
+    let mut fields: Vec<(&str, Json)> = vec![
+        ("model", spec.model.as_str().into()),
+        ("archetype", format!("{:?}", spec.archetype).into()),
+        ("seed", spec.seed.into()),
+    ];
+    let hardened = spec.hardened || spec.chaos.is_some();
+    if hardened {
+        let out = request.hardened().run_hardened();
+        push_result_fields(&mut fields, &out.result);
+        fields.push((
+            "degraded_fraction",
+            Json::Num(out.degrade.degraded_fraction()),
+        ));
+        fields.push(("escalations", out.degrade.escalations.into()));
+        fields.push(("recoveries", out.degrade.recoveries.into()));
+        fields.push(("faults_injected", out.faults.total().into()));
+        fields.push(("images_rejected", out.images_rejected.into()));
+    } else {
+        push_result_fields(&mut fields, &request.run());
+    }
+    Ok(Json::obj(fields).to_string())
+}
+
+fn push_result_fields(fields: &mut Vec<(&str, Json)>, r: &psca_adapt::ClosedLoopResult) {
+    fields.push(("windows", (r.modes.len() as u64).into()));
+    fields.push(("instructions", r.instructions.into()));
+    fields.push(("cycles", r.cycles.into()));
+    fields.push(("energy", Json::Num(r.energy)));
+    fields.push(("ppw", Json::Num(r.ppw())));
+    fields.push(("low_power_residency", Json::Num(r.low_power_residency)));
+}

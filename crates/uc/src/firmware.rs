@@ -16,7 +16,7 @@
 
 use crate::opcount::OpCounter;
 use psca_ml::gbdt::Gbdt;
-use psca_ml::{KernelSvm, LinearSvm, LogisticRegression, Mlp, Node, RandomForest};
+use psca_ml::{Classifier, KernelSvm, LinearSvm, LogisticRegression, Mlp, Node, RandomForest};
 use std::fmt;
 
 /// Typed firmware inference/validation errors. Field-deployed firmware
@@ -85,16 +85,27 @@ impl FirmwareModel {
         }
     }
 
+    /// The wrapped [`Classifier`], for every variant that holds a single
+    /// model. SVM ensembles vote over several classifiers and keep their
+    /// dedicated paths in [`predict`](FirmwareModel::predict) /
+    /// [`score`](FirmwareModel::score).
+    fn inner_classifier(&self) -> Option<&dyn Classifier> {
+        match self {
+            FirmwareModel::Mlp(m) => Some(m),
+            FirmwareModel::Forest(m) => Some(m),
+            FirmwareModel::Logistic(m) => Some(m),
+            FirmwareModel::SvmEnsemble(_) => None,
+            FirmwareModel::Chi2Svm(m) => Some(m),
+            FirmwareModel::Gbdt(m) => Some(m),
+        }
+    }
+
     /// Input dimensionality the model was trained for, where the model
     /// class records it (GBDT regression trees do not).
     pub fn input_dim(&self) -> Option<usize> {
         match self {
-            FirmwareModel::Mlp(m) => Some(m.layer_weights(0).0.cols()),
-            FirmwareModel::Forest(m) => m.trees().first().map(|t| t.num_features()),
-            FirmwareModel::Logistic(m) => Some(m.weights().len()),
             FirmwareModel::SvmEnsemble(ms) => ms.first().map(|s| s.weights().len()),
-            FirmwareModel::Chi2Svm(m) => m.dim(),
-            FirmwareModel::Gbdt(_) => None,
+            _ => self.inner_classifier().and_then(|c| c.n_features()),
         }
     }
 
@@ -119,15 +130,14 @@ impl FirmwareModel {
     pub fn predict(&self, x: &[f64]) -> Result<bool, FirmwareError> {
         self.check_dim(x)?;
         Ok(match self {
-            FirmwareModel::Mlp(m) => m.predict(x),
-            FirmwareModel::Forest(m) => m.predict(x),
-            FirmwareModel::Logistic(m) => m.predict(x),
             FirmwareModel::SvmEnsemble(ms) => {
-                let votes = ms.iter().filter(|s| s.predict(x)).count();
+                let votes = ms.iter().filter(|s| Classifier::predict(*s, x)).count();
                 2 * votes > ms.len()
             }
-            FirmwareModel::Chi2Svm(m) => m.predict(x),
-            FirmwareModel::Gbdt(m) => m.predict(x),
+            _ => self
+                .inner_classifier()
+                .expect("every non-ensemble variant wraps a single classifier")
+                .predict(x),
         })
     }
 
@@ -141,14 +151,14 @@ impl FirmwareModel {
     pub fn score(&self, x: &[f64]) -> Result<f64, FirmwareError> {
         self.check_dim(x)?;
         Ok(match self {
-            FirmwareModel::Mlp(m) => m.predict_proba(x),
-            FirmwareModel::Forest(m) => m.predict_proba(x),
-            FirmwareModel::Logistic(m) => m.predict_proba(x),
             FirmwareModel::SvmEnsemble(ms) => {
-                ms.iter().filter(|s| s.predict(x)).count() as f64 / ms.len().max(1) as f64
+                ms.iter().filter(|s| Classifier::predict(*s, x)).count() as f64
+                    / ms.len().max(1) as f64
             }
-            FirmwareModel::Chi2Svm(m) => 1.0 / (1.0 + (-m.decision(x)).exp()),
-            FirmwareModel::Gbdt(m) => m.predict_proba(x),
+            _ => self
+                .inner_classifier()
+                .expect("every non-ensemble variant wraps a single classifier")
+                .predict_proba(x),
         })
     }
 
@@ -347,6 +357,29 @@ impl FirmwareModel {
                 .map(|t| 10u64 * (1u64 << t.max_depth()))
                 .sum(),
         }
+    }
+}
+
+/// A firmware image is itself a [`Classifier`], so the serving daemon and
+/// experiment runners can hold `&dyn Classifier` without caring whether a
+/// model is raw or firmware-packed.
+///
+/// # Panics
+/// The trait has the concrete models' assert-on-bad-input contract, so
+/// these methods panic on a dimension mismatch. Field code that must not
+/// panic keeps using the fallible [`predict`](FirmwareModel::predict) /
+/// [`score`](FirmwareModel::score).
+impl Classifier for FirmwareModel {
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        self.score(x).expect("input dimension matches the model")
+    }
+
+    fn predict(&self, x: &[f64]) -> bool {
+        FirmwareModel::predict(self, x).expect("input dimension matches the model")
+    }
+
+    fn n_features(&self) -> Option<usize> {
+        self.input_dim()
     }
 }
 

@@ -7,7 +7,7 @@
 //! ```
 
 use psca::adapt::{
-    collect_paired, record_trace, run_closed_loop, zoo, CorpusTelemetry, ExperimentConfig,
+    collect_paired, record_trace, zoo, ClosedLoopRequest, CorpusTelemetry, ExperimentConfig,
     ModelKind,
 };
 use psca::workloads::{hdtr_corpus, ApplicationModel, Category};
@@ -55,7 +55,7 @@ fn main() {
     let app = ApplicationModel::synth("field-app", Category::WebProductivity, 0xF1E1D, 20_000);
     let mut source = app.trace(1);
     let (warm, window) = record_trace(&mut source, cfg.hdtr_warmup_insts, 60 * cfg.interval_insts);
-    let result = run_closed_loop(&model, &warm, &window, cfg.interval_insts);
+    let result = ClosedLoopRequest::new(&model, &warm, &window, cfg.interval_insts).run();
 
     println!("\nadaptive run over {} instructions:", result.instructions);
     println!(

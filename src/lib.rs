@@ -18,6 +18,9 @@
 //!   training, the adaptive closed loop, and every experiment in §5–§7
 //! - [`faults`] — deterministic fault injection for the chaos harness and
 //!   the graceful-degradation ladder (`docs/ROBUSTNESS.md`)
+//! - [`obs`] — metrics, structured events, and run reports
+//! - [`serve`] — the adaptation-as-a-service HTTP daemon
+//!   (`docs/SERVING.md`)
 //!
 //! # Example
 //!
@@ -39,6 +42,8 @@ pub use psca_adapt as adapt;
 pub use psca_cpu as cpu;
 pub use psca_faults as faults;
 pub use psca_ml as ml;
+pub use psca_obs as obs;
+pub use psca_serve as serve;
 pub use psca_telemetry as telemetry;
 pub use psca_trace as trace;
 pub use psca_uc as uc;

@@ -7,11 +7,11 @@ use std::sync::OnceLock;
 
 use psca::adapt::degrade::{DegradeConfig, DegradeLevel};
 use psca::adapt::{
-    collect_paired, record_trace, run_closed_loop, run_closed_loop_hardened, zoo, CorpusTelemetry,
-    ExperimentConfig, HardenedLoopResult, ModelKind, TrainedAdaptModel,
+    collect_paired, record_trace, zoo, ClosedLoopRequest, CorpusTelemetry, ExperimentConfig,
+    HardenedLoopResult, ModelKind, TrainedAdaptModel,
 };
 use psca::cpu::Mode;
-use psca::faults::{ChaosSpec, FaultInjector};
+use psca::faults::ChaosSpec;
 use psca::trace::VecTrace;
 use psca::workloads::{Archetype, PhaseGenerator};
 
@@ -51,15 +51,10 @@ fn trace_for(arch: Archetype, seed: u64, windows: u64) -> (VecTrace, VecTrace) {
 fn run_with_spec(spec: &str, arch: Archetype, seed: u64, windows: u64) -> HardenedLoopResult {
     let (model, cfg) = model_and_cfg();
     let (warm, window) = trace_for(arch, seed, windows);
-    let mut inj = FaultInjector::new(ChaosSpec::parse(spec).unwrap());
-    run_closed_loop_hardened(
-        model,
-        &warm,
-        &window,
-        cfg.interval_insts,
-        &mut inj,
-        DegradeConfig::default(),
-    )
+    ClosedLoopRequest::new(model, &warm, &window, cfg.interval_insts)
+        .with_faults(ChaosSpec::parse(spec).unwrap())
+        .with_degrade(DegradeConfig::default())
+        .run_hardened()
 }
 
 /// The central regression gate: with the injector disabled, the hardened
@@ -74,16 +69,10 @@ fn hardened_loop_without_faults_is_bit_identical() {
         (Archetype::Balanced, 99),
     ] {
         let (warm, window) = trace_for(arch, seed, 24);
-        let base = run_closed_loop(model, &warm, &window, cfg.interval_insts);
-        let mut inj = FaultInjector::disabled();
-        let hardened = run_closed_loop_hardened(
-            model,
-            &warm,
-            &window,
-            cfg.interval_insts,
-            &mut inj,
-            DegradeConfig::default(),
-        );
+        let base = ClosedLoopRequest::new(model, &warm, &window, cfg.interval_insts).run();
+        let hardened = ClosedLoopRequest::new(model, &warm, &window, cfg.interval_insts)
+            .hardened()
+            .run_hardened();
         assert_eq!(
             base, hardened.result,
             "{arch:?}/{seed}: fault-free hardened loop diverged from the plain loop"
@@ -191,8 +180,34 @@ fn default_chaos_run_is_survivable() {
     let (warm, window) = trace_for(Archetype::Balanced, 31, 32);
     let mut spec = ChaosSpec::default_chaos();
     spec.seed = 0xFA17;
+    let res = ClosedLoopRequest::new(model, &warm, &window, cfg.interval_insts)
+        .with_faults(spec)
+        .run_hardened();
+    assert_eq!(res.result.modes.len(), 32);
+    assert!(res.result.energy.is_finite() && res.result.energy > 0.0);
+    assert_eq!(res.window_ipc.len(), res.result.modes.len());
+    assert!(res.window_ipc.iter().all(|v| v.is_finite() && *v > 0.0));
+}
+
+/// The deprecated positional wrappers stay thin: they must produce results
+/// bit-identical to the `ClosedLoopRequest` API they forward to.
+#[test]
+#[allow(deprecated)]
+fn deprecated_wrappers_match_the_request_api() {
+    use psca::faults::FaultInjector;
+
+    let (model, cfg) = model_and_cfg();
+    let (warm, window) = trace_for(Archetype::Balanced, 47, 12);
+    let via_request = ClosedLoopRequest::new(model, &warm, &window, cfg.interval_insts).run();
+    let via_wrapper = psca::adapt::run_closed_loop(model, &warm, &window, cfg.interval_insts);
+    assert_eq!(via_request, via_wrapper);
+
+    let spec = ChaosSpec::parse("seed=9,uc.drop=0.5").unwrap();
+    let hardened_request = ClosedLoopRequest::new(model, &warm, &window, cfg.interval_insts)
+        .with_faults(spec.clone())
+        .run_hardened();
     let mut inj = FaultInjector::new(spec);
-    let res = run_closed_loop_hardened(
+    let hardened_wrapper = psca::adapt::run_closed_loop_hardened(
         model,
         &warm,
         &window,
@@ -200,8 +215,7 @@ fn default_chaos_run_is_survivable() {
         &mut inj,
         DegradeConfig::default(),
     );
-    assert_eq!(res.result.modes.len(), 32);
-    assert!(res.result.energy.is_finite() && res.result.energy > 0.0);
-    assert_eq!(res.window_ipc.len(), res.result.modes.len());
-    assert!(res.window_ipc.iter().all(|v| v.is_finite() && *v > 0.0));
+    assert_eq!(hardened_request.result, hardened_wrapper.result);
+    assert_eq!(hardened_request.faults, hardened_wrapper.faults);
+    assert_eq!(hardened_request.degrade, hardened_wrapper.degrade);
 }

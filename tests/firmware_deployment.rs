@@ -4,7 +4,7 @@
 
 use psca::adapt::collect_paired;
 use psca::adapt::{
-    record_trace, run_closed_loop, zoo, CorpusTelemetry, ExperimentConfig, ModelKind,
+    record_trace, zoo, ClosedLoopRequest, CorpusTelemetry, ExperimentConfig, ModelKind,
 };
 use psca::uc::image;
 use psca::workloads::{Archetype, PhaseGenerator};
@@ -42,8 +42,8 @@ fn shipped_firmware_drives_identical_gating() {
     // decision-for-decision on a fresh workload.
     let mut gen = PhaseGenerator::new(Archetype::Balanced.center(), 777);
     let (warm, window) = record_trace(&mut gen, 2_000, 64_000);
-    let a = run_closed_loop(&original, &warm, &window, cfg.interval_insts);
-    let b = run_closed_loop(&model, &warm, &window, cfg.interval_insts);
+    let a = ClosedLoopRequest::new(&original, &warm, &window, cfg.interval_insts).run();
+    let b = ClosedLoopRequest::new(&model, &warm, &window, cfg.interval_insts).run();
     assert_eq!(a.predictions, b.predictions);
     assert_eq!(a.modes, b.modes);
     assert_eq!(a.cycles, b.cycles);

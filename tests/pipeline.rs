@@ -3,7 +3,7 @@
 
 use psca::adapt::experiments::evaluate_model_on_corpus;
 use psca::adapt::{
-    collect_paired, record_trace, run_closed_loop, zoo, CorpusTelemetry, ExperimentConfig,
+    collect_paired, record_trace, zoo, ClosedLoopRequest, CorpusTelemetry, ExperimentConfig,
     ModelKind, Sla,
 };
 use psca::cpu::Mode;
@@ -37,7 +37,7 @@ fn end_to_end_training_and_deployment() {
     // Deploy on a fresh workload.
     let mut gen = PhaseGenerator::new(Archetype::DepChain.center(), 999);
     let (warm, window) = record_trace(&mut gen, 2_000, 48_000);
-    let result = run_closed_loop(&model, &warm, &window, cfg.interval_insts);
+    let result = ClosedLoopRequest::new(&model, &warm, &window, cfg.interval_insts).run();
     assert_eq!(result.instructions, 48_000);
     assert!(result.low_power_residency > 0.3, "serial code should gate");
 }
@@ -54,7 +54,7 @@ fn closed_loop_and_emulation_agree_on_residency() {
     // Real closed loop.
     let mut gen = PhaseGenerator::new(archetype.center(), 1234);
     let (warm, window) = record_trace(&mut gen, 2_000, 64_000);
-    let real = run_closed_loop(&model, &warm, &window, cfg.interval_insts);
+    let real = ClosedLoopRequest::new(&model, &warm, &window, cfg.interval_insts).run();
     // Emulated closed loop over paired telemetry of the same generator.
     let mut gen2 = PhaseGenerator::new(archetype.center(), 1234);
     let paired = collect_paired(&mut gen2, 2_000, 32, 2_000, 0, "probe", 1);
@@ -147,7 +147,7 @@ fn mode_is_applied_with_two_window_delay() {
     let model = zoo::train(ModelKind::BestRf, &corpus, &cfg);
     let mut gen = PhaseGenerator::new(Archetype::DepChain.center(), 42);
     let (warm, window) = record_trace(&mut gen, 2_000, 80_000);
-    let res = run_closed_loop(&model, &warm, &window, cfg.interval_insts);
+    let res = ClosedLoopRequest::new(&model, &warm, &window, cfg.interval_insts).run();
     // First two windows: no prediction could have been applied.
     assert_eq!(res.modes[0], Mode::HighPerf);
     assert_eq!(res.modes[1], Mode::HighPerf);
