@@ -228,6 +228,9 @@ fn plain_loop(
             sim.set_mode(*mode);
         }
         let window_mode = sim.mode();
+        // Trace-gated: renders each prediction window as its own span in
+        // the request's Perfetto tree. Never touches the simulation.
+        let win_ts = psca_obs::trace::enabled().then(psca_obs::trace::now_us);
         // Run the window's base intervals, collecting telemetry rows.
         row_cycles.clear();
         let mut filled = 0usize;
@@ -249,6 +252,10 @@ fn plain_loop(
         }
         if filled < g {
             break;
+        }
+        if let Some(ts) = win_ts {
+            let dur = psca_obs::trace::now_us().saturating_sub(ts);
+            psca_obs::trace::complete("sim.window", ts, dur);
         }
         modes.push(window_mode);
         windows_ctr.inc();
@@ -434,6 +441,8 @@ fn hardened_loop(
             sim.request_mode(desired, fault);
         }
         let window_mode = sim.mode();
+        // Trace-gated per-window span, exactly as in [`plain_loop`].
+        let win_ts = psca_obs::trace::enabled().then(psca_obs::trace::now_us);
         // Run the window's base intervals, collecting telemetry rows.
         row_cycles.clear();
         let mut filled = 0usize;
@@ -459,6 +468,10 @@ fn hardened_loop(
         }
         if filled < g {
             break;
+        }
+        if let Some(ts) = win_ts {
+            let dur = psca_obs::trace::now_us().saturating_sub(ts);
+            psca_obs::trace::complete("sim.window", ts, dur);
         }
         modes.push(window_mode);
         windows_ctr.inc();

@@ -13,6 +13,9 @@
 //! repro -- --chaos uc.drop=0.1,seed=7 chaos-sweep
 //! repro -- serve                     # adaptation-as-a-service daemon
 //! repro -- serve --addr 127.0.0.1:0 --models best-rf,charstar --seed 7
+//! repro -- serve --slo p99_us=50000,availability=0.99 --access-log access.jsonl
+//! repro -- loadgen --addr 127.0.0.1:8186 --rps 50 --duration 2 --out BENCH_serve.json
+//! repro -- slo-check --bench BENCH_serve.json --slo default   # CI gate, exit 1 on breach
 //! ```
 //!
 //! Observability: every experiment driver scopes the global metric
@@ -168,7 +171,8 @@ fn serve_main(args: &[String]) -> ! {
         psca_adapt::ModelKind::BestMlp,
     ];
     let usage = "[repro] serve flags: --addr HOST:PORT --workers N --queue N \
-                 --max-connections N --chaos SPEC --seed N --models slug[,slug...] \
+                 --max-connections N --chaos SPEC --slo SPEC|off --access-log PATH \
+                 --seed N --models slug[,slug...] \
                  (slugs: best-rf best-mlp charstar srch-fine srch-coarse)";
     let mut i = 0;
     while i < args.len() {
@@ -193,6 +197,14 @@ fn serve_main(args: &[String]) -> ! {
                     std::process::exit(2);
                 }
             },
+            "--slo" => match psca_obs::SloSpec::parse(&value()) {
+                Ok(spec) => config.slo = spec,
+                Err(e) => {
+                    eprintln!("[repro] bad --slo spec: {e}");
+                    std::process::exit(2);
+                }
+            },
+            "--access-log" => config.access_log = Some(std::path::PathBuf::from(value())),
             "--models" => {
                 kinds = value()
                     .split(',')
@@ -243,6 +255,12 @@ fn serve_main(args: &[String]) -> ! {
     );
     daemon.wait();
     eprintln!("[repro] serve: drained and stopped");
+    if let Some(path) = psca_obs::trace::finish() {
+        eprintln!(
+            "[repro] trace: {} (load in https://ui.perfetto.dev)",
+            path.display()
+        );
+    }
     std::process::exit(0)
 }
 
@@ -254,10 +272,147 @@ fn parse_or_die<T: std::str::FromStr>(value: &str, flag: &str) -> T {
     })
 }
 
+/// `repro loadgen`: seeded open-loop load against a running daemon's
+/// `/v1/predict`, summarized as the `BENCH_serve.json` schema on stdout
+/// (and to `--out` when given).
+fn loadgen_main(args: &[String]) -> ! {
+    use psca_bench::loadgen::{self, LoadgenConfig};
+    let mut cfg = LoadgenConfig::default();
+    let mut model_override: Option<String> = None;
+    let mut out: Option<std::path::PathBuf> = None;
+    let usage = "[repro] loadgen flags: --addr HOST:PORT --model SLUG --rps N \
+                 --duration SECS --connections N --seed N --out PATH";
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        i += 1;
+        let value = || {
+            args.get(i).cloned().unwrap_or_else(|| {
+                eprintln!("[repro] {flag} requires a value\n{usage}");
+                std::process::exit(2);
+            })
+        };
+        match flag {
+            "--addr" => cfg.addr = value(),
+            "--model" => model_override = Some(value()),
+            "--rps" => cfg.rps = parse_or_die(&value(), flag),
+            "--duration" => cfg.duration_s = parse_or_die(&value(), flag),
+            "--connections" => cfg.connections = parse_or_die(&value(), flag),
+            "--seed" => cfg.seed = parse_or_die(&value(), flag),
+            "--out" => out = Some(std::path::PathBuf::from(value())),
+            other => {
+                eprintln!("[repro] unknown loadgen flag '{other}'\n{usage}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if cfg.rps == 0 || cfg.duration_s == 0 {
+        eprintln!("[repro] loadgen needs --rps and --duration >= 1");
+        std::process::exit(2);
+    }
+    let (slug, dim) = loadgen::discover_model(&cfg.addr).unwrap_or_else(|e| {
+        eprintln!("[repro] loadgen: {e}");
+        std::process::exit(1);
+    });
+    cfg.model = model_override.unwrap_or(slug);
+    cfg.input_dim = dim;
+    eprintln!(
+        "[repro] loadgen: {} rps x {}s against http://{} (model {}, dim {}, seed {})",
+        cfg.rps, cfg.duration_s, cfg.addr, cfg.model, cfg.input_dim, cfg.seed
+    );
+    let summary = loadgen::run(&cfg);
+    let doc = summary.to_json().to_string();
+    println!("{doc}");
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, format!("{doc}\n")) {
+            eprintln!("[repro] loadgen: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("[repro] loadgen: summary written to {}", path.display());
+    }
+    // A run where nothing succeeded is a failure regardless of any SLO.
+    if summary.ok == 0 {
+        eprintln!("[repro] loadgen: no request succeeded");
+        std::process::exit(1);
+    }
+    std::process::exit(0)
+}
+
+/// `repro slo-check`: offline SLO verdict over a `BENCH_serve.json`
+/// summary — the CI gate (`exit 1` on breach).
+fn slo_check_main(args: &[String]) -> ! {
+    let mut bench = std::path::PathBuf::from("BENCH_serve.json");
+    let mut slo = "default".to_string();
+    let usage = "[repro] slo-check flags: --bench PATH --slo SPEC|off";
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        i += 1;
+        let value = || {
+            args.get(i).cloned().unwrap_or_else(|| {
+                eprintln!("[repro] {flag} requires a value\n{usage}");
+                std::process::exit(2);
+            })
+        };
+        match flag {
+            "--bench" => bench = std::path::PathBuf::from(value()),
+            "--slo" => slo = value(),
+            other => {
+                eprintln!("[repro] unknown slo-check flag '{other}'\n{usage}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let spec = match psca_obs::SloSpec::parse(&slo) {
+        Ok(Some(spec)) => spec,
+        Ok(None) => {
+            eprintln!("[repro] slo-check: spec is 'off', trivially passing");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("[repro] bad --slo spec: {e}");
+            std::process::exit(2);
+        }
+    };
+    let text = std::fs::read_to_string(&bench).unwrap_or_else(|e| {
+        eprintln!("[repro] slo-check: cannot read {}: {e}", bench.display());
+        std::process::exit(1);
+    });
+    let doc = psca_obs::Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("[repro] slo-check: {} is not JSON: {e}", bench.display());
+        std::process::exit(1);
+    });
+    let num = |key: &str| doc.get(key).and_then(psca_obs::Json::as_f64);
+    let violations = spec.check_values(
+        num("p99_us"),
+        num("availability"),
+        num("low_power_residency").or_else(|| num("rsv")),
+    );
+    eprintln!(
+        "[repro] slo-check: {} against {} ({})",
+        bench.display(),
+        spec.render(),
+        if violations.is_empty() {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+    for v in &violations {
+        eprintln!("[repro] slo-check: VIOLATION: {v}");
+    }
+    std::process::exit(if violations.is_empty() { 0 } else { 1 })
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("serve") {
-        serve_main(&args[1..]);
+    match args.first().map(String::as_str) {
+        Some("serve") => serve_main(&args[1..]),
+        Some("loadgen") => loadgen_main(&args[1..]),
+        Some("slo-check") => slo_check_main(&args[1..]),
+        _ => {}
     }
     let cli = parse_cli();
     // Parse the chaos spec up front so a typo fails fast, before any

@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod chart;
+pub mod loadgen;
 
 use psca_adapt::{CorpusTelemetry, ExperimentConfig};
 

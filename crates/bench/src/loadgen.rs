@@ -1,0 +1,414 @@
+//! Seeded open-loop load generator for the psca-serve daemon.
+//!
+//! Drives `POST /v1/predict` at a fixed request rate with a *fixed
+//! schedule*: request `k` is due at `k / rps` seconds after start,
+//! regardless of how long earlier requests took. Latency is measured
+//! from the **scheduled** send time, not the actual one, so a stalled
+//! server shows up as growing latency instead of silently lowering the
+//! offered rate (the coordinated-omission trap).
+//!
+//! Everything is seeded: feature rows come from a SplitMix64 stream and
+//! request `k` carries the deterministic `traceparent`
+//! `00-<trace(seed,k)>-<span>-01`, so a given `(seed, rps, duration)`
+//! tuple offers bit-identical traffic on every run and any slow request
+//! in the summary can be joined against the daemon's access log, latency
+//! exemplar, and flight recorder by trace id.
+//!
+//! The output is a [`LoadgenSummary`]; `repro loadgen --out
+//! BENCH_serve.json` persists it and `repro slo-check` turns it into a
+//! CI exit code via [`psca_obs::SloSpec::check_values`].
+
+use psca_obs::{Json, SloSpec, TraceCtx};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// SplitMix64 step (the same generator family `psca_obs::ctx` uses).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A unit-interval sample from a seeded stream.
+fn unit(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The deterministic trace context attached to request `k` of a run
+/// seeded with `seed` (exposed so tests can predict the ids).
+pub fn request_ctx(seed: u64, k: u64) -> TraceCtx {
+    let mut state = seed ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut word = || loop {
+        let v = splitmix64(&mut state);
+        if v != 0 {
+            break v;
+        }
+    };
+    let hi = word() as u128;
+    let lo = word() as u128;
+    TraceCtx {
+        trace_id: (hi << 64) | lo,
+        span_id: word(),
+    }
+}
+
+/// Load-generator parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Daemon address (`host:port`).
+    pub addr: String,
+    /// Model slug to score against.
+    pub model: String,
+    /// Offered request rate, requests per second.
+    pub rps: u64,
+    /// Run length in seconds (requests = `rps * duration_s`).
+    pub duration_s: u64,
+    /// Client connections sending in parallel.
+    pub connections: usize,
+    /// Seed for rows and trace ids.
+    pub seed: u64,
+    /// Feature-vector width (from `GET /v1/models`).
+    pub input_dim: usize,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> LoadgenConfig {
+        LoadgenConfig {
+            addr: "127.0.0.1:8186".to_string(),
+            model: "best-rf".to_string(),
+            rps: 50,
+            duration_s: 2,
+            connections: 4,
+            seed: 1,
+            input_dim: 0,
+        }
+    }
+}
+
+/// One request's outcome as seen by the generator.
+#[derive(Debug, Clone)]
+struct Sample {
+    /// Latency from the *scheduled* send time, microseconds.
+    latency_us: u64,
+    /// HTTP status (0 when the connection failed outright).
+    status: u16,
+}
+
+/// Aggregate result of one load-generator run.
+#[derive(Debug, Clone)]
+pub struct LoadgenSummary {
+    /// Requests offered (and attempted).
+    pub requests: u64,
+    /// Responses with a 2xx status.
+    pub ok: u64,
+    /// Responses with a 5xx status or a failed connection.
+    pub errors: u64,
+    /// Fraction of non-error responses.
+    pub availability: f64,
+    /// Median latency from scheduled send, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Worst latency, microseconds.
+    pub max_us: u64,
+    /// Offered rate (the schedule), requests per second.
+    pub offered_rps: u64,
+    /// Completed-request throughput actually achieved.
+    pub achieved_rps: f64,
+    /// Wall-clock run length, seconds.
+    pub wall_s: f64,
+    /// Seed the run was driven with.
+    pub seed: u64,
+    /// Trace id (32 hex digits) of the slowest request, for joining
+    /// against the daemon's access log and flight recorder.
+    pub slowest_trace_id: String,
+}
+
+impl LoadgenSummary {
+    /// JSON rendering (the `BENCH_serve.json` schema).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("bench", "serve-loadgen".into()),
+            ("requests", self.requests.into()),
+            ("ok", self.ok.into()),
+            ("errors", self.errors.into()),
+            ("availability", self.availability.into()),
+            ("p50_us", self.p50_us.into()),
+            ("p95_us", self.p95_us.into()),
+            ("p99_us", self.p99_us.into()),
+            ("max_us", self.max_us.into()),
+            ("offered_rps", self.offered_rps.into()),
+            ("achieved_rps", self.achieved_rps.into()),
+            ("wall_s", self.wall_s.into()),
+            ("seed", self.seed.into()),
+            ("slowest_trace_id", self.slowest_trace_id.as_str().into()),
+        ])
+    }
+
+    /// Evaluates `spec` against this run (latency + availability; the
+    /// `rsv_floor` key needs a closed-loop result and is skipped here).
+    pub fn slo_violations(&self, spec: &SloSpec) -> Vec<String> {
+        spec.check_values(Some(self.p99_us as f64), Some(self.availability), None)
+    }
+}
+
+/// Renders one predict request body for schedule slot `k`.
+fn request_body(cfg: &LoadgenConfig, k: u64) -> String {
+    let mut state = cfg.seed ^ k.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+    let row: Vec<String> = (0..cfg.input_dim)
+        .map(|_| format!("{:.6}", unit(&mut state)))
+        .collect();
+    format!(
+        "{{\"model\":\"{}\",\"rows\":[[{}]]}}",
+        cfg.model,
+        row.join(",")
+    )
+}
+
+/// Sends one HTTP request (`Connection: close`) and returns the status.
+fn send_request(addr: &str, method: &str, path: &str, traceparent: &str, body: &str) -> u16 {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return 0;
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\ntraceparent: {traceparent}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    if stream.write_all(head.as_bytes()).is_err() || stream.write_all(body.as_bytes()).is_err() {
+        return 0;
+    }
+    let mut response = Vec::new();
+    if stream.read_to_end(&mut response).is_err() || response.is_empty() {
+        return 0;
+    }
+    parse_status(&response)
+}
+
+/// Extracts the status code from an HTTP/1.1 response head.
+fn parse_status(response: &[u8]) -> u16 {
+    let line_end = response
+        .iter()
+        .position(|&b| b == b'\r')
+        .unwrap_or(response.len());
+    let line = String::from_utf8_lossy(&response[..line_end]);
+    line.split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Fetches `GET /v1/models` and returns `(first_model_slug, input_dim)`;
+/// used to auto-fill [`LoadgenConfig`] before a run.
+///
+/// # Errors
+/// Returns a human-readable message when the daemon is unreachable or
+/// the document has no models.
+pub fn discover_model(addr: &str) -> Result<(String, usize), String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let head = format!("GET /v1/models HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream
+        .write_all(head.as_bytes())
+        .map_err(|e| format!("write to {addr} failed: {e}"))?;
+    let mut response = Vec::new();
+    stream
+        .read_to_end(&mut response)
+        .map_err(|e| format!("read from {addr} failed: {e}"))?;
+    let text = String::from_utf8_lossy(&response);
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .ok_or("malformed /v1/models response")?;
+    let doc = Json::parse(body).map_err(|e| format!("bad /v1/models JSON: {e}"))?;
+    let models = doc
+        .get("models")
+        .and_then(Json::as_arr)
+        .ok_or("no models array in /v1/models")?;
+    let first = models.first().ok_or("daemon has no models loaded")?;
+    let slug = first
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or("model entry without a name")?
+        .to_string();
+    let dim = first
+        .get("input_dim_hi")
+        .and_then(Json::as_u64)
+        .ok_or("model entry without input_dim_hi")? as usize;
+    Ok((slug, dim))
+}
+
+/// Runs the open-loop schedule and aggregates the outcome.
+///
+/// Workers split the schedule round-robin; each sleeps until slot `k`'s
+/// due time, fires, and attributes the full (due-to-response) time to
+/// that slot.
+pub fn run(cfg: &LoadgenConfig) -> LoadgenSummary {
+    let total = cfg.rps * cfg.duration_s;
+    let interval = Duration::from_nanos(1_000_000_000 / cfg.rps.max(1));
+    let workers = cfg.connections.clamp(1, 64).min(total.max(1) as usize);
+    let samples: Mutex<Vec<(u64, Sample)>> = Mutex::new(Vec::with_capacity(total as usize));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let samples = &samples;
+            scope.spawn(move || {
+                let mut k = w as u64;
+                while k < total {
+                    let due = interval * (k as u32);
+                    let now = start.elapsed();
+                    if due > now {
+                        std::thread::sleep(due - now);
+                    }
+                    let ctx = request_ctx(cfg.seed, k);
+                    let status = send_request(
+                        &cfg.addr,
+                        "POST",
+                        "/v1/predict",
+                        &ctx.to_traceparent(),
+                        &request_body(cfg, k),
+                    );
+                    let latency_us = start
+                        .elapsed()
+                        .saturating_sub(due)
+                        .as_micros()
+                        .min(u128::from(u64::MAX)) as u64;
+                    samples
+                        .lock()
+                        .unwrap()
+                        .push((k, Sample { latency_us, status }));
+                    k += workers as u64;
+                }
+            });
+        }
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+    let samples = samples.into_inner().unwrap();
+    summarize(cfg, &samples, wall_s)
+}
+
+fn summarize(cfg: &LoadgenConfig, samples: &[(u64, Sample)], wall_s: f64) -> LoadgenSummary {
+    let requests = samples.len() as u64;
+    let ok = samples
+        .iter()
+        .filter(|(_, s)| (200..300).contains(&s.status))
+        .count() as u64;
+    let errors = samples
+        .iter()
+        .filter(|(_, s)| s.status == 0 || s.status >= 500)
+        .count() as u64;
+    let mut latencies: Vec<u64> = samples.iter().map(|(_, s)| s.latency_us).collect();
+    latencies.sort_unstable();
+    let q = |frac: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let rank = ((latencies.len() as f64) * frac).ceil() as usize;
+        latencies[rank.saturating_sub(1).min(latencies.len() - 1)]
+    };
+    let slowest = samples
+        .iter()
+        .max_by_key(|(_, s)| s.latency_us)
+        .map(|(k, _)| request_ctx(cfg.seed, *k).trace_id_hex())
+        .unwrap_or_default();
+    LoadgenSummary {
+        requests,
+        ok,
+        errors,
+        availability: if requests > 0 {
+            1.0 - errors as f64 / requests as f64
+        } else {
+            1.0
+        },
+        p50_us: q(0.50),
+        p95_us: q(0.95),
+        p99_us: q(0.99),
+        max_us: latencies.last().copied().unwrap_or(0),
+        offered_rps: cfg.rps,
+        achieved_rps: if wall_s > 0.0 {
+            requests as f64 / wall_s
+        } else {
+            0.0
+        },
+        wall_s,
+        seed: cfg.seed,
+        slowest_trace_id: slowest,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_ctx_is_deterministic_and_valid() {
+        let a = request_ctx(7, 3);
+        let b = request_ctx(7, 3);
+        assert_eq!(a, b);
+        assert_ne!(a, request_ctx(7, 4));
+        assert_ne!(a, request_ctx(8, 3));
+        // Round-trips through the header grammar.
+        assert_eq!(TraceCtx::parse_traceparent(&a.to_traceparent()), Some(a));
+    }
+
+    #[test]
+    fn request_bodies_are_seed_stable() {
+        let cfg = LoadgenConfig {
+            input_dim: 4,
+            ..LoadgenConfig::default()
+        };
+        assert_eq!(request_body(&cfg, 5), request_body(&cfg, 5));
+        assert_ne!(request_body(&cfg, 5), request_body(&cfg, 6));
+        assert!(request_body(&cfg, 0).contains("\"model\":\"best-rf\""));
+    }
+
+    #[test]
+    fn parse_status_reads_the_code() {
+        assert_eq!(parse_status(b"HTTP/1.1 200 OK\r\n\r\n"), 200);
+        assert_eq!(parse_status(b"HTTP/1.1 503 Service Unavailable\r\n"), 503);
+        assert_eq!(parse_status(b"garbage"), 0);
+    }
+
+    #[test]
+    fn summary_percentiles_and_verdict() {
+        let cfg = LoadgenConfig::default();
+        let samples: Vec<(u64, Sample)> = (0..100)
+            .map(|k| {
+                (
+                    k,
+                    Sample {
+                        latency_us: (k + 1) * 100,
+                        status: if k < 95 { 200 } else { 503 },
+                    },
+                )
+            })
+            .collect();
+        let s = summarize(&cfg, &samples, 2.0);
+        assert_eq!(s.requests, 100);
+        assert_eq!(s.ok, 95);
+        assert_eq!(s.errors, 5);
+        assert!((s.availability - 0.95).abs() < 1e-9);
+        assert_eq!(s.p50_us, 5_000);
+        assert_eq!(s.p99_us, 9_900);
+        assert_eq!(s.max_us, 10_000);
+        assert_eq!(s.achieved_rps, 50.0);
+        // The slowest request's trace id is the schedule's last slot.
+        assert_eq!(s.slowest_trace_id, request_ctx(cfg.seed, 99).trace_id_hex());
+        // A 3-nines spec fails on availability; a loose one passes on
+        // latency but still fails availability.
+        let strict = SloSpec::default();
+        assert!(!s.slo_violations(&strict).is_empty());
+        let doc = s.to_json();
+        assert_eq!(doc.get("p99_us").and_then(Json::as_u64), Some(9_900));
+        assert_eq!(doc.get("requests").and_then(Json::as_u64), Some(100));
+    }
+}

@@ -809,6 +809,10 @@ impl ClusterSim {
         source: &mut S,
         n: u64,
     ) -> Option<IntervalResult> {
+        // Trace-gated: each interval becomes a span in the recording (and
+        // inherits the calling thread's request context, if any), so a
+        // served closed-loop request renders down to interval granularity.
+        let span_ts = psca_obs::trace::enabled().then(psca_obs::trace::now_us);
         let mut executed = 0u64;
         for _ in 0..n {
             match source.next_instruction() {
@@ -821,6 +825,10 @@ impl ClusterSim {
         }
         if executed == 0 {
             return None;
+        }
+        if let Some(ts) = span_ts {
+            let dur = psca_obs::trace::now_us().saturating_sub(ts);
+            psca_obs::trace::complete("cpu.sim.interval", ts, dur);
         }
         // Close the interval. Observability is batched once per interval
         // (never per instruction) through handles resolved at

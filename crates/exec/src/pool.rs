@@ -35,6 +35,11 @@ pub fn resolve_jobs(requested: usize) -> usize {
 /// the map runs inline on the calling thread — same code path a worker
 /// would take, so results are identical by construction. A panic inside
 /// `f` propagates to the caller once the scope joins.
+///
+/// The caller's request-scoped trace context (if any) is forwarded to
+/// every worker thread, so spans recorded inside `f` stay attributed to
+/// the request that fanned out — observability only, never affecting
+/// results.
 pub fn map_indexed<T, R, F>(jobs: usize, items: Vec<T>, f: &F) -> Vec<R>
 where
     T: Send,
@@ -49,6 +54,7 @@ where
             .map(|(i, t)| f(i, t))
             .collect();
     }
+    let ctx = psca_obs::ctx::current();
     let workers = jobs.min(n);
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
@@ -61,18 +67,21 @@ where
             let queues = &queues;
             let slots = &slots;
             let results = &results;
-            scope.spawn(move || loop {
-                let idx = match queues[w].lock().unwrap().pop_front() {
-                    Some(i) => Some(i),
-                    None => (1..workers)
-                        .find_map(|off| queues[(w + off) % workers].lock().unwrap().pop_back()),
-                };
-                let Some(i) = idx else { break };
-                let Some(item) = slots[i].lock().unwrap().take() else {
-                    continue;
-                };
-                let out = f(i, item);
-                *results[i].lock().unwrap() = Some(out);
+            scope.spawn(move || {
+                let _ctx_guard = ctx.map(psca_obs::ctx::attach);
+                loop {
+                    let idx = match queues[w].lock().unwrap().pop_front() {
+                        Some(i) => Some(i),
+                        None => (1..workers)
+                            .find_map(|off| queues[(w + off) % workers].lock().unwrap().pop_back()),
+                    };
+                    let Some(i) = idx else { break };
+                    let Some(item) = slots[i].lock().unwrap().take() else {
+                        continue;
+                    };
+                    let out = f(i, item);
+                    *results[i].lock().unwrap() = Some(out);
+                }
             });
         }
     });
@@ -126,6 +135,16 @@ mod tests {
         });
         assert_eq!(out.len(), 200);
         assert_eq!(ran.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn workers_inherit_callers_trace_context() {
+        let ctx = psca_obs::TraceCtx::mint();
+        let _guard = psca_obs::ctx::attach(ctx);
+        let seen = map_indexed(4, (0..16).collect::<Vec<u32>>(), &|_, _| {
+            psca_obs::ctx::current().map(|c| c.trace_id)
+        });
+        assert!(seen.iter().all(|t| *t == Some(ctx.trace_id)));
     }
 
     #[test]

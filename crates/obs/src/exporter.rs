@@ -212,6 +212,14 @@ pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
             out.push_str(&format!("{n}{{quantile=\"{q}\"}} {v}\n"));
         }
         out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum, h.count));
+        if let Some(e) = snap.exemplars.get(name) {
+            // OpenMetrics-style exemplar, emitted as a label so plain
+            // Prometheus text parsers still accept the line.
+            out.push_str(&format!(
+                "{n}_exemplar{{trace_id=\"{}\"}} {}\n",
+                e.trace_id, e.value
+            ));
+        }
     }
     for (name, pts) in &snap.series {
         if let Some((_, y)) = pts.last() {
@@ -317,12 +325,20 @@ mod tests {
                 p99: 20,
             },
         );
+        snap.exemplars.insert(
+            "c.lat".into(),
+            crate::metrics::Exemplar {
+                value: 20,
+                trace_id: "cafe".into(),
+            },
+        );
         snap.series.insert("d.ipc".into(), vec![(0, 2.0), (1, 2.5)]);
         let text = prometheus_text(&snap);
         assert!(text.contains("# TYPE a_count counter\na_count 3\n"));
         assert!(text.contains("# TYPE b_level gauge\nb_level 1.5\n"));
         assert!(text.contains("c_lat{quantile=\"0.5\"} 10\n"));
         assert!(text.contains("c_lat_sum 30\nc_lat_count 2\n"));
+        assert!(text.contains("c_lat_exemplar{trace_id=\"cafe\"} 20\n"));
         assert!(text.contains("# TYPE d_ipc_last gauge\nd_ipc_last 2.5\n"));
     }
 }

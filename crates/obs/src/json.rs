@@ -77,6 +77,14 @@ impl Json {
         }
     }
 
+    /// The boolean value, when this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The numeric value as `f64` (covers `UInt`, `Int`, and `Num`).
     pub fn as_f64(&self) -> Option<f64> {
         match self {

@@ -29,29 +29,48 @@
 //! trace-level enter/exit events, and (when tracing) a Perfetto duration
 //! bar.
 //!
+//! On top of these sit three request-scoped facilities:
+//!
+//! - **Trace context** ([`ctx`]) — a W3C-traceparent-compatible
+//!   [`TraceCtx`] attached per thread; Perfetto spans and instants carry
+//!   its ids as args, and histogram exemplars link `/metrics` tails back
+//!   to traces.
+//! - **SLOs** ([`slo`]) — declarative [`SloSpec`] targets evaluated over
+//!   sliding windows with multi-window burn-rate alerts.
+//! - **Flight recorder** ([`recorder`]) — a bounded ring of recent
+//!   request records dumped as JSONL postmortems on failure.
+//!
 //! Naming conventions and the `PSCA_LOG` / `PSCA_TRACE` /
 //! `PSCA_METRICS_ADDR` contracts are documented in `docs/OBSERVABILITY.md`.
 
 #![warn(missing_docs)]
 
+pub mod ctx;
 pub mod event;
 pub mod exporter;
 pub mod json;
 pub mod metrics;
+pub mod recorder;
 pub mod report;
 pub mod shard;
+pub mod slo;
 pub mod span;
 pub mod timeseries;
 pub mod trace;
 
+pub use ctx::TraceCtx;
 pub use event::{
     clear_sinks, emit, enabled, flush, install_sink, set_level, ConsoleSink, EventRecord,
     EventSink, FieldValue, JsonlSink, Level,
 };
 pub use exporter::MetricsServer;
 pub use json::Json;
-pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, MetricsSnapshot, Registry};
+pub use metrics::{
+    Counter, Exemplar, Gauge, Histogram, HistogramSummary, MetricsSnapshot, Registry,
+};
+pub use recorder::{FlightRecorder, RequestRecord};
 pub use report::{PhaseStat, RunReport, SummaryValue};
+pub use slo::{SloEngine, SloSpec, SloStatus};
 pub use span::SpanTimer;
 pub use timeseries::TimeSeries;
 

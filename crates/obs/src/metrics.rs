@@ -90,6 +90,7 @@ pub struct Histogram {
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
+    exemplar: Mutex<Option<Exemplar>>,
 }
 
 impl Default for Histogram {
@@ -100,8 +101,19 @@ impl Default for Histogram {
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
+            exemplar: Mutex::new(None),
         }
     }
+}
+
+/// A sample worth investigating, linking a histogram's tail back to the
+/// trace that produced it (OpenMetrics-style exemplar).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The recorded sample value.
+    pub value: u64,
+    /// 32-hex-digit trace id of the request that recorded it.
+    pub trace_id: String,
 }
 
 fn bucket_index(v: u64) -> usize {
@@ -138,6 +150,31 @@ impl Histogram {
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.min.fetch_min(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records one sample and, when it sets a new high-water mark,
+    /// remembers `trace_id` as the histogram's [`Exemplar`] — so the
+    /// `/metrics` tail links to the trace of its worst request. Not for
+    /// wait-free hot paths: the exemplar sits behind a mutex (only
+    /// contended when a new maximum lands, which is rare by definition).
+    pub fn record_with_exemplar(&self, v: u64, trace_id: &str) {
+        self.record(v);
+        if trace_id.is_empty() {
+            return;
+        }
+        let mut slot = self.exemplar.lock().unwrap();
+        let stale = slot.as_ref().is_none_or(|e| v >= e.value);
+        if stale {
+            *slot = Some(Exemplar {
+                value: v,
+                trace_id: trace_id.to_string(),
+            });
+        }
+    }
+
+    /// The current exemplar, if any sample carried a trace id.
+    pub fn exemplar(&self) -> Option<Exemplar> {
+        self.exemplar.lock().unwrap().clone()
     }
 
     /// Number of recorded samples.
@@ -214,7 +251,7 @@ impl Histogram {
         }
     }
 
-    /// Clears all samples.
+    /// Clears all samples (and any exemplar).
     pub fn reset(&self) {
         for b in &self.buckets {
             b.store(0, Ordering::Relaxed);
@@ -223,6 +260,7 @@ impl Histogram {
         self.sum.store(0, Ordering::Relaxed);
         self.min.store(u64::MAX, Ordering::Relaxed);
         self.max.store(0, Ordering::Relaxed);
+        *self.exemplar.lock().unwrap() = None;
     }
 }
 
@@ -290,6 +328,17 @@ impl Registry {
 
     /// Snapshot of every metric's current value.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        // One pass (and one lock) over the histogram map for both the
+        // summaries and the exemplars.
+        let (histograms, exemplars) = {
+            let map = self.histograms.lock().unwrap();
+            let summaries = map.iter().map(|(k, v)| (k.clone(), v.summary())).collect();
+            let exemplars = map
+                .iter()
+                .filter_map(|(k, v)| v.exemplar().map(|e| (k.clone(), e)))
+                .collect();
+            (summaries, exemplars)
+        };
         MetricsSnapshot {
             counters: self
                 .counters
@@ -305,13 +354,8 @@ impl Registry {
                 .iter()
                 .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
-            histograms: self
-                .histograms
-                .lock()
-                .unwrap()
-                .iter()
-                .map(|(k, v)| (k.clone(), v.summary()))
-                .collect(),
+            histograms,
+            exemplars,
             series: self
                 .series
                 .lock()
@@ -356,6 +400,8 @@ pub struct MetricsSnapshot {
     pub gauges: BTreeMap<String, f64>,
     /// Histogram summaries by name.
     pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Histogram exemplars by name (histograms with a traced sample only).
+    pub exemplars: BTreeMap<String, Exemplar>,
     /// Time-series points by name (non-empty series only).
     pub series: BTreeMap<String, Vec<(u64, f64)>>,
 }
@@ -389,6 +435,14 @@ impl MetricsSnapshot {
                 Some(_) => {}
                 None => {
                     self.histograms.insert(k.clone(), *h);
+                }
+            }
+        }
+        for (k, e) in &other.exemplars {
+            match self.exemplars.get(k) {
+                Some(mine) if mine.value >= e.value => {}
+                _ => {
+                    self.exemplars.insert(k.clone(), e.clone());
                 }
             }
         }
@@ -456,6 +510,41 @@ mod tests {
         assert_eq!(snap.gauges["g"], 0.0);
         assert_eq!(snap.histograms["h"].count, 0);
         assert!(snap.series.is_empty(), "empty series are omitted");
+    }
+
+    #[test]
+    fn exemplar_tracks_high_water_mark() {
+        let h = Histogram::new();
+        assert_eq!(h.exemplar(), None);
+        h.record_with_exemplar(100, "aaaa");
+        h.record_with_exemplar(50, "bbbb");
+        let e = h.exemplar().unwrap();
+        assert_eq!((e.value, e.trace_id.as_str()), (100, "aaaa"));
+        // Ties and new maxima replace; empty trace ids never record.
+        h.record_with_exemplar(100, "cccc");
+        assert_eq!(h.exemplar().unwrap().trace_id, "cccc");
+        h.record_with_exemplar(500, "");
+        assert_eq!(h.exemplar().unwrap().trace_id, "cccc");
+        assert_eq!(h.count(), 4);
+        h.reset();
+        assert_eq!(h.exemplar(), None);
+    }
+
+    #[test]
+    fn snapshot_and_absorb_carry_exemplars() {
+        let r = Registry::default();
+        r.histogram("h").record_with_exemplar(10, "t1");
+        let mut acc = r.snapshot();
+        assert_eq!(acc.exemplars["h"].trace_id, "t1");
+        let r2 = Registry::default();
+        r2.histogram("h").record_with_exemplar(20, "t2");
+        acc.absorb(&r2.snapshot());
+        assert_eq!(acc.exemplars["h"].trace_id, "t2");
+        // Lower-valued exemplars do not displace the retained maximum.
+        let r3 = Registry::default();
+        r3.histogram("h").record_with_exemplar(5, "t3");
+        acc.absorb(&r3.snapshot());
+        assert_eq!(acc.exemplars["h"].trace_id, "t2");
     }
 
     #[test]

@@ -148,14 +148,29 @@ fn fields_to_args(fields: &[(&str, FieldValue)]) -> Json {
     )
 }
 
+/// The calling thread's request context, rendered as trace-event args
+/// (`None` when no [`crate::ctx::TraceCtx`] is attached).
+fn ctx_args() -> Option<Json> {
+    crate::ctx::current().map(|c| {
+        Json::obj(vec![
+            ("trace_id", Json::Str(c.trace_id_hex())),
+            ("span_id", Json::Str(c.span_id_hex())),
+        ])
+    })
+}
+
 /// Records a complete (duration) event: a span named `name` that started
-/// `ts_us` microseconds into the trace and lasted `dur_us`.
+/// `ts_us` microseconds into the trace and lasted `dur_us`. When the
+/// calling thread has a request context attached, the span's args carry
+/// its `trace_id`/`span_id`, so Perfetto queries can slice one request
+/// out of the whole recording.
 pub fn complete(name: &str, ts_us: u64, dur_us: u64) {
     if !enabled() {
         return;
     }
-    push_event(|_, tid| {
-        Json::obj(vec![
+    let ctx = ctx_args();
+    push_event(move |_, tid| {
+        let mut fields = vec![
             ("name", Json::Str(name.to_string())),
             ("cat", Json::Str("span".into())),
             ("ph", Json::Str("X".into())),
@@ -163,17 +178,25 @@ pub fn complete(name: &str, ts_us: u64, dur_us: u64) {
             ("dur", Json::UInt(dur_us.max(1))),
             ("pid", Json::UInt(1)),
             ("tid", Json::UInt(tid)),
-        ])
+        ];
+        if let Some(args) = ctx {
+            fields.push(("args", args));
+        }
+        Json::obj(fields)
     });
 }
 
 /// Records a thread-scoped instant event (a mode switch, a guardrail
-/// trip, an SLA violation) with typed argument fields.
+/// trip, an SLA violation) with typed argument fields. A request context
+/// attached to the calling thread adds `trace_id`/`span_id` args.
 pub fn instant(name: &str, fields: &[(&str, FieldValue)]) {
     if !enabled() {
         return;
     }
-    let args = fields_to_args(fields);
+    let mut args = fields_to_args(fields);
+    if let (Some(Json::Obj(extra)), Json::Obj(pairs)) = (ctx_args(), &mut args) {
+        pairs.extend(extra);
+    }
     push_event(move |st, tid| {
         Json::obj(vec![
             ("name", Json::Str(name.to_string())),

@@ -7,17 +7,34 @@
 //! (accept thread pushes connections into a `Mutex<VecDeque>` guarded by
 //! condvars, workers pop), and the same std-only discipline: no external
 //! HTTP or threading dependency anywhere.
+//!
+//! Every request is request-scoped observable: a
+//! [`psca_obs::TraceCtx`] is parsed from an inbound `traceparent` header
+//! (or minted at ingress) and attached to the handling worker, so queue
+//! wait, the `serve.request` span, closed-loop windows, and sim
+//! intervals all land in one Perfetto tree; the response echoes the
+//! `traceparent`. Per-request outcomes feed the SLO engine
+//! (`GET /v1/slo`), the flight recorder (`GET /v1/debug/requests`,
+//! postmortem dumps to `target/obs/` on 5xx / SLO alert / degradation
+//! escalation), the latency histogram's exemplar, and — when
+//! `PSCA_ACCESS_LOG` or [`ServeConfig::access_log`] is set — a JSONL
+//! access log. None of this changes any computed result: responses are
+//! bit-identical with tracing on or off.
 
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use psca_adapt::{record_trace, ClosedLoopRequest};
 use psca_faults::{ChaosSpec, FaultInjector, PredictionFault};
-use psca_obs::Json;
+use psca_obs::event::EventSink;
+use psca_obs::{
+    EventRecord, FieldValue, Json, JsonlSink, Level, RequestRecord, SloEngine, SloSpec, TraceCtx,
+};
 use psca_workloads::PhaseGenerator;
 
 use crate::api::{self, ApiError, ClosedLoopSpec, PredictRequest};
@@ -25,6 +42,9 @@ use crate::registry::ModelRegistry;
 
 /// Upper bound on the request head (request line + headers).
 const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Where flight-recorder postmortems are dumped.
+const POSTMORTEM_DIR: &str = "target/obs";
 
 /// Daemon tuning knobs. `Default` gives a loopback daemon on an
 /// OS-assigned port with auto-sized workers and a 64-deep queue.
@@ -42,6 +62,12 @@ pub struct ServeConfig {
     pub max_body_bytes: usize,
     /// Optional chaos injected on the prediction endpoints.
     pub chaos: Option<ChaosSpec>,
+    /// Service-level objective evaluated per request (`GET /v1/slo`);
+    /// `None` disables the engine.
+    pub slo: Option<SloSpec>,
+    /// JSONL access-log path; falls back to the `PSCA_ACCESS_LOG`
+    /// environment variable when unset.
+    pub access_log: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -53,8 +79,17 @@ impl Default for ServeConfig {
             max_connections: 256,
             max_body_bytes: 1 << 20,
             chaos: None,
+            slo: Some(SloSpec::default()),
+            access_log: None,
         }
     }
+}
+
+/// One accepted connection, stamped so the worker that pops it can
+/// attribute queue wait.
+struct Queued {
+    stream: TcpStream,
+    enqueued: Instant,
 }
 
 /// State shared between the accept thread and the worker pool.
@@ -63,13 +98,26 @@ struct Shared {
     config: ServeConfig,
     local_addr: SocketAddr,
     jobs: usize,
-    queue: Mutex<VecDeque<TcpStream>>,
+    queue: Mutex<VecDeque<Queued>>,
     work_ready: Condvar,
     idle: Condvar,
     stop: AtomicBool,
     hold: AtomicBool,
+    /// Readiness: false until the worker pool is spawned; `/readyz`
+    /// answers 503 until then (and again while held or stopping).
+    ready: AtomicBool,
     inflight: AtomicUsize,
     chaos: Option<Mutex<FaultInjector>>,
+    /// Daemon start time — the epoch for SLO windows and flight-recorder
+    /// timestamps.
+    epoch: Instant,
+    slo: Option<Mutex<SloEngine>>,
+    /// Rising-edge latch for SLO alert postmortems: dump once per alert
+    /// episode, not per request while the alert stays active.
+    slo_alerted: AtomicBool,
+    /// Dedicated access-log sink (not installed globally, so only access
+    /// lines land in the file).
+    access: Option<JsonlSink>,
 }
 
 impl Shared {
@@ -79,6 +127,11 @@ impl Shared {
 
     fn inflight_gauge(&self) {
         psca_obs::gauge("serve.inflight").set(self.inflight.load(Ordering::Relaxed) as f64);
+    }
+
+    /// Milliseconds since the daemon started (SLO/recorder timebase).
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis().min(u128::from(u64::MAX)) as u64
     }
 
     /// Wakes everyone: workers (to drain and exit), `quiesce` waiters,
@@ -94,6 +147,135 @@ impl Shared {
         }
         let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(200));
     }
+
+    /// Folds one finished request into the observability stack: SLO
+    /// engine, flight recorder (with postmortem dumps on 5xx, an SLO
+    /// alert's rising edge, or a degradation escalation), and the access
+    /// log. Pure observability — called after the response is written.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_request(
+        &self,
+        outcome: &RequestOutcome,
+        endpoint: &str,
+        method: &str,
+        path: &str,
+        trace_id: &str,
+        latency_us: u64,
+        queue_us: u64,
+    ) {
+        let now_ms = self.now_ms();
+        let status = outcome.status;
+        // Probe/scrape endpoints stay out of the SLO and never trigger
+        // postmortems: a failing readiness probe is the daemon *reporting*
+        // unreadiness, not failing a request.
+        let probe = matches!(endpoint, "healthz" | "readyz" | "metrics");
+        if probe {
+            self.record_and_log(
+                outcome, endpoint, method, path, trace_id, latency_us, queue_us,
+            );
+            return;
+        }
+        if let Some(slo) = &self.slo {
+            let mut engine = slo.lock().unwrap();
+            engine.observe(now_ms, latency_us, status >= 500);
+            let alerting = !engine.status(now_ms).ok();
+            drop(engine);
+            psca_obs::gauge("serve.slo.alerting").set(if alerting { 1.0 } else { 0.0 });
+            if alerting {
+                if !self.slo_alerted.swap(true, Ordering::SeqCst) {
+                    self.dump_postmortem("slo-alert");
+                }
+            } else {
+                self.slo_alerted.store(false, Ordering::SeqCst);
+            }
+        }
+        self.record_and_log(
+            outcome, endpoint, method, path, trace_id, latency_us, queue_us,
+        );
+        if status >= 500 {
+            self.dump_postmortem("http-5xx");
+        }
+        if outcome.escalations > 0 {
+            self.dump_postmortem("tier-escalation");
+        }
+    }
+
+    /// Flight-recorder push + access-log line for one finished request.
+    #[allow(clippy::too_many_arguments)]
+    fn record_and_log(
+        &self,
+        outcome: &RequestOutcome,
+        endpoint: &str,
+        method: &str,
+        path: &str,
+        trace_id: &str,
+        latency_us: u64,
+        queue_us: u64,
+    ) {
+        psca_obs::recorder::global().push(RequestRecord {
+            seq: 0,
+            ts_ms: self.now_ms(),
+            trace_id: trace_id.to_string(),
+            endpoint: endpoint.to_string(),
+            status: outcome.status,
+            latency_us,
+            queue_us,
+            error_class: outcome.error_class.clone(),
+            note: outcome.note.clone(),
+        });
+        if let Some(sink) = &self.access {
+            sink.write_event(&EventRecord {
+                level: Level::Info,
+                name: "serve.access".to_string(),
+                fields: vec![
+                    (
+                        "trace_id".to_string(),
+                        FieldValue::Str(trace_id.to_string()),
+                    ),
+                    ("method".to_string(), FieldValue::Str(method.to_string())),
+                    ("path".to_string(), FieldValue::Str(path.to_string())),
+                    (
+                        "endpoint".to_string(),
+                        FieldValue::Str(endpoint.to_string()),
+                    ),
+                    (
+                        "status".to_string(),
+                        FieldValue::U64(u64::from(outcome.status)),
+                    ),
+                    ("latency_us".to_string(), FieldValue::U64(latency_us)),
+                    ("queue_us".to_string(), FieldValue::U64(queue_us)),
+                ],
+                ts_us: unix_ts_us(),
+            });
+            sink.flush();
+        }
+    }
+
+    fn dump_postmortem(&self, reason: &str) {
+        if let Some(path) =
+            psca_obs::recorder::global().dump(std::path::Path::new(POSTMORTEM_DIR), reason)
+        {
+            psca_obs::counter("serve.postmortems").inc();
+            if psca_obs::enabled(Level::Warn) {
+                psca_obs::emit(
+                    Level::Warn,
+                    "serve.postmortem",
+                    &[
+                        ("reason", reason.into()),
+                        ("path", path.display().to_string().into()),
+                    ],
+                );
+            }
+        }
+    }
+}
+
+/// Microseconds since the Unix epoch (0 when the clock is unavailable).
+fn unix_ts_us() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_micros().min(u128::from(u64::MAX)) as u64)
+        .unwrap_or(0)
 }
 
 /// A running daemon. Dropping it shuts it down and joins every thread.
@@ -118,6 +300,26 @@ impl Daemon {
             .clone()
             .filter(ChaosSpec::any_enabled)
             .map(|spec| Mutex::new(FaultInjector::new(spec)));
+        let slo = config
+            .slo
+            .clone()
+            .map(|spec| Mutex::new(SloEngine::new(spec)));
+        let access_path = config.access_log.clone().or_else(|| {
+            std::env::var("PSCA_ACCESS_LOG")
+                .ok()
+                .filter(|p| !p.trim().is_empty())
+                .map(PathBuf::from)
+        });
+        let access = match access_path {
+            Some(path) => match JsonlSink::create(&path) {
+                Ok(sink) => Some(sink),
+                Err(e) => {
+                    eprintln!("psca-serve: cannot open access log {}: {e}", path.display());
+                    None
+                }
+            },
+            None => None,
+        };
         let shared = Arc::new(Shared {
             registry,
             config,
@@ -128,8 +330,13 @@ impl Daemon {
             idle: Condvar::new(),
             stop: AtomicBool::new(false),
             hold: AtomicBool::new(false),
+            ready: AtomicBool::new(false),
             inflight: AtomicUsize::new(0),
             chaos,
+            epoch: Instant::now(),
+            slo,
+            slo_alerted: AtomicBool::new(false),
+            access,
         });
         if psca_obs::enabled(psca_obs::Level::Info) {
             psca_obs::emit(
@@ -155,6 +362,9 @@ impl Daemon {
                     .spawn(move || worker_loop(&shared))
             })
             .collect::<io::Result<Vec<_>>>()?;
+        // Everything is accepting: flip readiness last so `/readyz`
+        // cannot report ready before the pool exists.
+        shared.ready.store(true, Ordering::SeqCst);
         Ok(Daemon {
             shared,
             accept: Some(accept),
@@ -251,7 +461,10 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
             continue;
         }
         let mut q = shared.queue.lock().unwrap();
-        q.push_back(stream);
+        q.push_back(Queued {
+            stream,
+            enqueued: Instant::now(),
+        });
         shared.queue_depth_gauge(q.len());
         drop(q);
         shared.work_ready.notify_one();
@@ -283,9 +496,14 @@ fn worker_loop(shared: &Shared) {
             }
         };
         let Some(stream) = stream else { break };
+        let queue_us = stream
+            .enqueued
+            .elapsed()
+            .as_micros()
+            .min(u128::from(u64::MAX)) as u64;
         shared.inflight.fetch_add(1, Ordering::SeqCst);
         shared.inflight_gauge();
-        let wants_shutdown = handle_connection(stream, shared);
+        let wants_shutdown = handle_connection(stream.stream, queue_us, shared);
         shared.inflight.fetch_sub(1, Ordering::SeqCst);
         shared.inflight_gauge();
         {
@@ -303,6 +521,8 @@ struct HttpRequest {
     method: String,
     path: String,
     accept_ndjson: bool,
+    /// Context parsed from an inbound W3C `traceparent` header, if any.
+    ctx: Option<TraceCtx>,
     body: String,
 }
 
@@ -336,6 +556,7 @@ fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<HttpRequest, 
     }
     let mut content_length: Option<usize> = None;
     let mut accept_ndjson = false;
+    let mut ctx = None;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
@@ -344,6 +565,9 @@ fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<HttpRequest, 
         match name.to_ascii_lowercase().as_str() {
             "content-length" => content_length = value.parse().ok(),
             "accept" => accept_ndjson = value.contains("application/x-ndjson"),
+            // Malformed traceparent values are ignored (a fresh context
+            // is minted), matching W3C trace-context error handling.
+            "traceparent" => ctx = TraceCtx::parse_traceparent(value),
             _ => {}
         }
     }
@@ -373,6 +597,7 @@ fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<HttpRequest, 
         method,
         path,
         accept_ndjson,
+        ctx,
         body,
     })
 }
@@ -382,6 +607,16 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
 }
 
 fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) {
+    respond_traced(stream, status, content_type, body, None);
+}
+
+fn respond_traced(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    traceparent: Option<&str>,
+) {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -394,13 +629,68 @@ fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) 
         503 => "Service Unavailable",
         _ => "Error",
     };
+    let trace_header = traceparent
+        .map(|tp| format!("traceparent: {tp}\r\n"))
+        .unwrap_or_default();
     let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{trace_header}Connection: close\r\n\r\n",
         body.len()
     );
     let _ = stream.write_all(head.as_bytes());
     let _ = stream.write_all(body.as_bytes());
     let _ = stream.flush();
+}
+
+/// Per-request response writer: echoes the request's `traceparent` on
+/// every response and captures the outcome (status, error class,
+/// degradation notes) for the SLO engine, flight recorder, and access
+/// log.
+struct Responder<'a> {
+    stream: &'a mut TcpStream,
+    traceparent: String,
+    outcome: RequestOutcome,
+}
+
+/// What one request came to, as recorded after the response is written.
+#[derive(Debug, Clone)]
+struct RequestOutcome {
+    status: u16,
+    error_class: String,
+    note: String,
+    /// Degradation-ladder escalations reported by a closed-loop run
+    /// (each one triggers a postmortem dump).
+    escalations: u64,
+}
+
+impl Default for RequestOutcome {
+    fn default() -> RequestOutcome {
+        RequestOutcome {
+            // A connection that dies before any response is written
+            // counts as a server-side failure.
+            status: 500,
+            error_class: String::new(),
+            note: String::new(),
+            escalations: 0,
+        }
+    }
+}
+
+impl Responder<'_> {
+    fn send(&mut self, status: u16, content_type: &str, body: &str) {
+        self.outcome.status = status;
+        respond_traced(
+            self.stream,
+            status,
+            content_type,
+            body,
+            Some(&self.traceparent),
+        );
+    }
+
+    fn send_error(&mut self, e: &ApiError) {
+        self.outcome.error_class = e.code.to_string();
+        self.send(e.status, "application/json", &e.to_json());
+    }
 }
 
 /// Endpoint label for metric names.
@@ -410,61 +700,141 @@ fn endpoint_key(method: &str, path: &str) -> &'static str {
         (_, "/v1/closed-loop") => "closed_loop",
         (_, "/v1/models") => "models",
         (_, "/v1/shutdown") => "shutdown",
+        (_, "/v1/slo") => "slo",
+        (_, "/v1/debug/requests") => "debug_requests",
         (_, "/metrics") => "metrics",
         (_, "/healthz") => "healthz",
+        (_, "/readyz") => "readyz",
         _ => "other",
     }
 }
 
 /// Serves one connection. Returns true when the client requested
 /// daemon shutdown.
-fn handle_connection(mut stream: TcpStream, shared: &Shared) -> bool {
+fn handle_connection(mut stream: TcpStream, queue_us: u64, shared: &Shared) -> bool {
     let started = Instant::now();
-    let (key, wants_shutdown) = match read_request(&mut stream, shared.config.max_body_bytes) {
-        Ok(req) => {
-            let key = endpoint_key(&req.method, &req.path);
-            psca_obs::counter(&format!("serve.{key}.requests")).inc();
-            let wants_shutdown = match route(&req, shared, &mut stream) {
-                Ok(wants_shutdown) => wants_shutdown,
-                Err(e) => {
-                    psca_obs::counter(&format!("serve.{key}.errors")).inc();
-                    respond(&mut stream, e.status, "application/json", &e.to_json());
-                    false
-                }
-            };
-            (key, wants_shutdown)
-        }
-        Err(e) => {
-            psca_obs::counter("serve.other.errors").inc();
-            respond(&mut stream, e.status, "application/json", &e.to_json());
-            ("other", false)
+    let parsed = read_request(&mut stream, shared.config.max_body_bytes);
+    // Adopt the inbound trace id (fresh span for the server hop) or mint
+    // a new context at ingress. Attached for the rest of the handling,
+    // so every span/instant recorded below carries the request's ids —
+    // including fan-out through psca-exec and the sim.
+    let ctx = match &parsed {
+        Ok(req) => req.ctx.map(|c| c.child()).unwrap_or_else(TraceCtx::mint),
+        Err(_) => TraceCtx::mint(),
+    };
+    let _ctx_guard = psca_obs::ctx::attach(ctx);
+    if psca_obs::trace::enabled() && queue_us > 0 {
+        // Backdated: the wait already happened, in the accept queue.
+        let now = psca_obs::trace::now_us();
+        psca_obs::trace::complete("serve.queue", now.saturating_sub(queue_us), queue_us);
+    }
+    psca_obs::histogram("serve.queue.wait_us").record(queue_us);
+
+    let (key, method, path, outcome, wants_shutdown) = {
+        let _span = psca_obs::SpanTimer::start("serve.request");
+        let mut rsp = Responder {
+            stream: &mut stream,
+            traceparent: ctx.to_traceparent(),
+            outcome: RequestOutcome::default(),
+        };
+        match parsed {
+            Ok(req) => {
+                let key = endpoint_key(&req.method, &req.path);
+                psca_obs::counter(&format!("serve.{key}.requests")).inc();
+                let wants_shutdown = match route(&req, shared, &mut rsp) {
+                    Ok(wants_shutdown) => wants_shutdown,
+                    Err(e) => {
+                        psca_obs::counter(&format!("serve.{key}.errors")).inc();
+                        rsp.send_error(&e);
+                        false
+                    }
+                };
+                (
+                    key,
+                    req.method.clone(),
+                    req.path.clone(),
+                    rsp.outcome,
+                    wants_shutdown,
+                )
+            }
+            Err(e) => {
+                psca_obs::counter("serve.other.errors").inc();
+                rsp.send_error(&e);
+                ("other", String::new(), String::new(), rsp.outcome, false)
+            }
         }
     };
     let micros = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-    psca_obs::histogram(&format!("serve.{key}.latency_us")).record(micros);
+    psca_obs::histogram(&format!("serve.{key}.latency_us"))
+        .record_with_exemplar(micros, &ctx.trace_id_hex());
+    shared.finish_request(
+        &outcome,
+        key,
+        &method,
+        &path,
+        &ctx.trace_id_hex(),
+        micros,
+        queue_us,
+    );
     wants_shutdown
 }
 
 /// Dispatches a parsed request. `Ok(true)` means shut the daemon down.
-fn route(req: &HttpRequest, shared: &Shared, stream: &mut TcpStream) -> Result<bool, ApiError> {
+fn route(req: &HttpRequest, shared: &Shared, rsp: &mut Responder<'_>) -> Result<bool, ApiError> {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
+            // Liveness: the process is up and serving; says nothing about
+            // whether it can take traffic (that is `/readyz`).
             let body = Json::obj(vec![
                 ("status", "ok".into()),
                 ("models", (shared.registry.len() as u64).into()),
             ])
             .to_string();
-            respond(stream, 200, "application/json", &body);
+            rsp.send(200, "application/json", &body);
+            Ok(false)
+        }
+        ("GET", "/readyz") => {
+            // Readiness: the registry has models and the pool is
+            // accepting work. Held/stopping daemons are not ready.
+            let ready = shared.ready.load(Ordering::SeqCst)
+                && !shared.registry.is_empty()
+                && !shared.hold.load(Ordering::SeqCst)
+                && !shared.stop.load(Ordering::SeqCst);
+            if !ready {
+                return Err(ApiError::unavailable(
+                    "not_ready",
+                    "daemon is not ready to take traffic",
+                ));
+            }
+            let body = Json::obj(vec![
+                ("status", "ready".into()),
+                ("models", (shared.registry.len() as u64).into()),
+                ("workers", (shared.jobs as u64).into()),
+            ])
+            .to_string();
+            rsp.send(200, "application/json", &body);
             Ok(false)
         }
         ("GET", "/metrics") => {
             let body = psca_obs::exporter::prometheus_text(&psca_obs::snapshot());
-            respond(stream, 200, "text/plain; version=0.0.4", &body);
+            rsp.send(200, "text/plain; version=0.0.4", &body);
+            Ok(false)
+        }
+        ("GET", "/v1/slo") => {
+            let body = match &shared.slo {
+                Some(engine) => engine.lock().unwrap().to_json(shared.now_ms()).to_string(),
+                None => Json::obj(vec![("enabled", false.into())]).to_string(),
+            };
+            rsp.send(200, "application/json", &body);
+            Ok(false)
+        }
+        ("GET", "/v1/debug/requests") => {
+            let body = psca_obs::recorder::global().to_json().to_string();
+            rsp.send(200, "application/json", &body);
             Ok(false)
         }
         ("GET", "/v1/models") => {
-            respond(
-                stream,
+            rsp.send(
                 200,
                 "application/json",
                 &shared.registry.models_json().to_string(),
@@ -481,15 +851,9 @@ fn route(req: &HttpRequest, shared: &Shared, stream: &mut TcpStream) -> Result<b
             parsed.check_dims(model)?;
             let scored = api::score_rows(model, parsed.mode, &parsed.rows, shared.jobs);
             if req.accept_ndjson {
-                respond(
-                    stream,
-                    200,
-                    "application/x-ndjson",
-                    &api::predict_ndjson(&scored),
-                );
+                rsp.send(200, "application/x-ndjson", &api::predict_ndjson(&scored));
             } else {
-                respond(
-                    stream,
+                rsp.send(
                     200,
                     "application/json",
                     &api::predict_json(&parsed.model, &scored),
@@ -501,18 +865,24 @@ fn route(req: &HttpRequest, shared: &Shared, stream: &mut TcpStream) -> Result<b
             require_body(req)?;
             maybe_inject_chaos(shared)?;
             let spec = ClosedLoopSpec::parse(&req.body)?;
-            let body = run_closed_loop_endpoint(&spec, shared)?;
-            respond(stream, 200, "application/json", &body);
+            let (body, escalations) = run_closed_loop_endpoint(&spec, shared)?;
+            rsp.outcome.escalations = escalations;
+            if escalations > 0 {
+                rsp.outcome.note = format!("{escalations} degradation escalation(s)");
+            }
+            rsp.send(200, "application/json", &body);
             Ok(false)
         }
         ("POST", "/v1/shutdown") => {
             let body = Json::obj(vec![("status", "draining".into())]).to_string();
-            respond(stream, 200, "application/json", &body);
+            rsp.send(200, "application/json", &body);
             Ok(true)
         }
-        (method, path @ ("/healthz" | "/metrics" | "/v1/models")) => {
-            Err(ApiError::method_not_allowed(method, path))
-        }
+        (
+            method,
+            path @ ("/healthz" | "/readyz" | "/metrics" | "/v1/models" | "/v1/slo"
+            | "/v1/debug/requests"),
+        ) => Err(ApiError::method_not_allowed(method, path)),
         (method, path @ ("/v1/predict" | "/v1/closed-loop" | "/v1/shutdown")) => {
             Err(ApiError::method_not_allowed(method, path))
         }
@@ -564,8 +934,12 @@ fn maybe_inject_chaos(shared: &Shared) -> Result<(), ApiError> {
 }
 
 /// Runs a seeded closed-loop simulation for the requested workload spec
-/// and renders the result summary.
-fn run_closed_loop_endpoint(spec: &ClosedLoopSpec, shared: &Shared) -> Result<String, ApiError> {
+/// and renders the result summary. Also returns the degradation-ladder
+/// escalation count so the caller can trigger postmortems.
+fn run_closed_loop_endpoint(
+    spec: &ClosedLoopSpec,
+    shared: &Shared,
+) -> Result<(String, u64), ApiError> {
     let model = shared
         .registry
         .get(&spec.model)
@@ -584,6 +958,7 @@ fn run_closed_loop_endpoint(spec: &ClosedLoopSpec, shared: &Shared) -> Result<St
         ("seed", spec.seed.into()),
     ];
     let hardened = spec.hardened || spec.chaos.is_some();
+    let mut escalations = 0;
     if hardened {
         let out = request.hardened().run_hardened();
         push_result_fields(&mut fields, &out.result);
@@ -595,10 +970,11 @@ fn run_closed_loop_endpoint(spec: &ClosedLoopSpec, shared: &Shared) -> Result<St
         fields.push(("recoveries", out.degrade.recoveries.into()));
         fields.push(("faults_injected", out.faults.total().into()));
         fields.push(("images_rejected", out.images_rejected.into()));
+        escalations = out.degrade.escalations;
     } else {
         push_result_fields(&mut fields, &request.run());
     }
-    Ok(Json::obj(fields).to_string())
+    Ok((Json::obj(fields).to_string(), escalations))
 }
 
 fn push_result_fields(fields: &mut Vec<(&str, Json)>, r: &psca_adapt::ClosedLoopResult) {

@@ -1,0 +1,499 @@
+//! End-to-end observability tests: trace-context propagation over real
+//! sockets into the Perfetto artifact, bit-identity of served results
+//! with tracing on vs off, readiness vs liveness, the SLO endpoint and
+//! burn-rate math, the flight recorder's postmortem dumps, and the JSONL
+//! access log.
+
+use proptest::prelude::*;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use psca::adapt::ModelKind;
+use psca::obs::{Json, SloEngine, SloSpec, TraceCtx};
+use psca::serve::{Daemon, ModelRegistry, ServeConfig};
+
+/// A parsed HTTP response: status, raw head (for header assertions), body.
+struct Response {
+    status: u16,
+    head: String,
+    body: String,
+}
+
+impl Response {
+    /// The value of `name` in the response head, if present.
+    fn header(&self, name: &str) -> Option<String> {
+        self.head.lines().find_map(|line| {
+            let (k, v) = line.split_once(':')?;
+            k.trim()
+                .eq_ignore_ascii_case(name)
+                .then(|| v.trim().to_string())
+        })
+    }
+}
+
+fn send(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> Response {
+    send_with_headers(addr, method, path, body, &[])
+}
+
+fn send_with_headers(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+    extra_headers: &[&str],
+) -> Response {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: localhost\r\n");
+    for h in extra_headers {
+        head.push_str(h);
+        head.push_str("\r\n");
+    }
+    if !body.is_empty() || method == "POST" {
+        head.push_str(&format!("Content-Length: {}\r\n", body.len()));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body.as_bytes()).unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8(raw).expect("utf-8 response");
+    let (head, body) = text.split_once("\r\n\r\n").expect("head/body split");
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    Response {
+        status,
+        head: head.to_string(),
+        body: body.to_string(),
+    }
+}
+
+fn rf_registry(seed: u64) -> ModelRegistry {
+    let cfg = psca::adapt::ExperimentConfig::builder()
+        .seed(seed)
+        .build()
+        .unwrap();
+    ModelRegistry::train(cfg, &[ModelKind::BestRf])
+}
+
+fn probe_rows(dim: usize, n: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            (0..dim)
+                .map(|j| ((i * dim + j) as f64 * 0.7).sin().abs() * 100.0)
+                .collect()
+        })
+        .collect()
+}
+
+fn rows_json(rows: &[Vec<f64>]) -> String {
+    let arr: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let xs: Vec<String> = r.iter().map(|x| format!("{x}")).collect();
+            format!("[{}]", xs.join(","))
+        })
+        .collect();
+    format!("[{}]", arr.join(","))
+}
+
+#[test]
+fn readyz_distinguishes_readiness_from_liveness() {
+    // A daemon with no models loaded is *live* (the process serves HTTP)
+    // but not *ready* (it cannot answer predictions yet).
+    let cfg = psca::adapt::ExperimentConfig::builder()
+        .seed(31)
+        .build()
+        .unwrap();
+    let daemon = Daemon::start(ServeConfig::default(), ModelRegistry::new(cfg)).expect("bind");
+    let addr = daemon.local_addr();
+    assert_eq!(send(addr, "GET", "/healthz", "").status, 200);
+    let r = send(addr, "GET", "/readyz", "");
+    assert_eq!(r.status, 503, "{}", r.body);
+    assert_eq!(
+        Json::parse(&r.body)
+            .unwrap()
+            .get("error")
+            .and_then(Json::as_str),
+        Some("not_ready")
+    );
+    daemon.shutdown();
+
+    // With a loaded registry and an accepting pool the daemon is ready.
+    let daemon = Daemon::start(ServeConfig::default(), rf_registry(31)).expect("bind");
+    let addr = daemon.local_addr();
+    assert_eq!(send(addr, "GET", "/healthz", "").status, 200);
+    let r = send(addr, "GET", "/readyz", "");
+    assert_eq!(r.status, 200, "{}", r.body);
+    let doc = Json::parse(&r.body).unwrap();
+    assert_eq!(doc.get("status").and_then(Json::as_str), Some("ready"));
+
+    // Wrong method gets the typed 405, not a 404.
+    assert_eq!(send(addr, "POST", "/readyz", "").status, 405);
+    daemon.shutdown();
+}
+
+#[test]
+fn slo_endpoint_reports_spec_and_live_status() {
+    let registry = rf_registry(37);
+    let dim = registry.get("best-rf").unwrap().fw_hi.input_dim().unwrap();
+    let daemon = Daemon::start(ServeConfig::default(), registry).expect("bind");
+    let addr = daemon.local_addr();
+    let body = format!(
+        r#"{{"model":"best-rf","rows":{}}}"#,
+        rows_json(&probe_rows(dim, 1))
+    );
+    assert_eq!(send(addr, "POST", "/v1/predict", &body).status, 200);
+
+    let r = send(addr, "GET", "/v1/slo", "");
+    assert_eq!(r.status, 200, "{}", r.body);
+    let doc = Json::parse(&r.body).unwrap();
+    assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+    assert!(doc.get("window_requests").and_then(Json::as_u64).unwrap() >= 1);
+    let spec = doc.get("spec").expect("spec block");
+    assert_eq!(spec.get("availability").and_then(Json::as_f64), Some(0.999));
+    daemon.shutdown();
+
+    // SLO disabled: the endpoint says so instead of 404ing.
+    let daemon = Daemon::start(
+        ServeConfig {
+            slo: None,
+            ..ServeConfig::default()
+        },
+        rf_registry(37),
+    )
+    .expect("bind");
+    let r = send(daemon.local_addr(), "GET", "/v1/slo", "");
+    assert_eq!(r.status, 200);
+    assert_eq!(
+        Json::parse(&r.body)
+            .unwrap()
+            .get("enabled")
+            .and_then(Json::as_bool),
+        Some(false)
+    );
+    daemon.shutdown();
+}
+
+/// The tentpole acceptance test: one traced request renders as a single
+/// Perfetto tree (ingress span → sim windows → sim intervals, all
+/// carrying the same trace id), the response echoes the `traceparent`,
+/// the flight recorder and latency exemplar carry the same id — and
+/// turning tracing on changes no served byte.
+#[test]
+fn traced_request_is_one_perfetto_tree_and_stays_bit_identical() {
+    let registry = rf_registry(41);
+    let dim = registry.get("best-rf").unwrap().fw_hi.input_dim().unwrap();
+    let daemon = Daemon::start(ServeConfig::default(), registry).expect("bind");
+    let addr = daemon.local_addr();
+    let predict_body = format!(
+        r#"{{"model":"best-rf","rows":{}}}"#,
+        rows_json(&probe_rows(dim, 4))
+    );
+    let loop_body = r#"{"model":"best-rf","archetype":"dep-chain","seed":5,"windows":4}"#;
+
+    // The same client-minted traceparent rides on every request, so the
+    // ONLY variable between the two halves is the trace recorder.
+    let client_ctx = TraceCtx {
+        trace_id: 0xABAD_1DEA_0000_0000_0000_0000_5EED_5EED,
+        span_id: 0x1234_5678_9ABC_DEF0,
+    };
+    let tp_header = format!("traceparent: {}", client_ctx.to_traceparent());
+
+    // Baseline with tracing OFF.
+    let predict_off = send_with_headers(addr, "POST", "/v1/predict", &predict_body, &[&tp_header]);
+    let loop_off = send_with_headers(addr, "POST", "/v1/closed-loop", loop_body, &[&tp_header]);
+    assert_eq!(predict_off.status, 200, "{}", predict_off.body);
+    assert_eq!(loop_off.status, 200, "{}", loop_off.body);
+
+    // Tracing ON.
+    let trace_path =
+        std::env::temp_dir().join(format!("psca_obs_e2e_trace_{}.json", std::process::id()));
+    assert!(
+        psca::obs::trace::enable(&trace_path),
+        "trace recorder already active (another test holds it?)"
+    );
+    let predict_on = send_with_headers(addr, "POST", "/v1/predict", &predict_body, &[&tp_header]);
+    let loop_on = send_with_headers(addr, "POST", "/v1/closed-loop", loop_body, &[&tp_header]);
+    let trace_hex = client_ctx.trace_id_hex();
+
+    // Bit-identity: tracing and trace-context propagation change nothing.
+    assert_eq!(predict_on.status, 200);
+    assert_eq!(
+        predict_on.body, predict_off.body,
+        "predict must be bit-identical with tracing on"
+    );
+    assert_eq!(
+        loop_on.body, loop_off.body,
+        "closed-loop must be bit-identical with tracing on"
+    );
+
+    // The response echoes our trace id (fresh server-hop span id).
+    let echoed = predict_on.header("traceparent").expect("traceparent echo");
+    let echoed_ctx = TraceCtx::parse_traceparent(&echoed).expect("valid echoed header");
+    assert_eq!(echoed_ctx.trace_id, client_ctx.trace_id);
+    assert_ne!(echoed_ctx.span_id, client_ctx.span_id, "server hop span");
+
+    // The flight recorder joins on the same trace id.
+    let r = send(addr, "GET", "/v1/debug/requests", "");
+    assert_eq!(r.status, 200);
+    let doc = Json::parse(&r.body).unwrap();
+    let recent = doc.get("requests").and_then(Json::as_arr).unwrap();
+    assert!(
+        recent.iter().any(|rec| {
+            rec.get("trace_id").and_then(Json::as_str) == Some(trace_hex.as_str())
+                && rec.get("endpoint").and_then(Json::as_str) == Some("closed_loop")
+        }),
+        "flight recorder must hold the traced closed-loop request"
+    );
+
+    // The latency histogram exemplar links /metrics back to the trace.
+    let metrics = send(addr, "GET", "/metrics", "");
+    assert!(
+        metrics
+            .body
+            .contains(&format!("_exemplar{{trace_id=\"{trace_hex}\"}}")),
+        "exemplar with our trace id missing from /metrics"
+    );
+
+    daemon.shutdown();
+    let written = psca::obs::trace::finish().expect("trace written");
+    let text = std::fs::read_to_string(&written).unwrap();
+    let _ = std::fs::remove_file(&written);
+    let events = Json::parse(&text).unwrap();
+    let events = events.as_arr().expect("trace file is a JSON array");
+
+    // Every span of the traced request carries the same trace id, and the
+    // tree covers ingress → closed-loop windows → sim intervals.
+    let ours: Vec<&Json> = events
+        .iter()
+        .filter(|ev| {
+            ev.get("args")
+                .and_then(|a| a.get("trace_id"))
+                .and_then(Json::as_str)
+                == Some(trace_hex.as_str())
+        })
+        .collect();
+    let names: std::collections::BTreeSet<&str> = ours
+        .iter()
+        .filter_map(|ev| ev.get("name").and_then(Json::as_str))
+        .collect();
+    assert!(
+        names.iter().any(|n| n.contains("serve.request")),
+        "ingress span missing; traced names: {names:?}"
+    );
+    assert!(
+        names.contains("sim.window"),
+        "closed-loop window spans missing; traced names: {names:?}"
+    );
+    assert!(
+        names.contains("cpu.sim.interval"),
+        "sim interval spans missing; traced names: {names:?}"
+    );
+    // Both served requests appear: predict + closed-loop ingress spans
+    // (children nest dot-joined under them, so match the exact name).
+    let ingress = ours
+        .iter()
+        .filter(|ev| ev.get("name").and_then(Json::as_str) == Some("serve.request"))
+        .count();
+    assert_eq!(ingress, 2, "one ingress span per traced request");
+}
+
+#[test]
+fn flight_recorder_dumps_postmortem_on_5xx() {
+    let chaos = psca::faults::ChaosSpec::parse("uc.drop=1.0,seed=3").unwrap();
+    let daemon = Daemon::start(
+        ServeConfig {
+            chaos: Some(chaos),
+            ..ServeConfig::default()
+        },
+        rf_registry(43),
+    )
+    .expect("bind");
+    let addr = daemon.local_addr();
+
+    let postmortems = || -> usize {
+        std::fs::read_dir("target/obs")
+            .map(|dir| {
+                dir.filter_map(Result::ok)
+                    .filter(|e| {
+                        e.file_name()
+                            .to_string_lossy()
+                            .starts_with("postmortem-http-5xx-")
+                    })
+                    .count()
+            })
+            .unwrap_or(0)
+    };
+    // Dump sequence numbers restart per process: clear stale artifacts so
+    // a rerun's dump can't land on an old filename and hide itself.
+    if let Ok(dir) = std::fs::read_dir("target/obs") {
+        for e in dir.filter_map(Result::ok) {
+            if e.file_name()
+                .to_string_lossy()
+                .starts_with("postmortem-http-5xx-")
+            {
+                let _ = std::fs::remove_file(e.path());
+            }
+        }
+    }
+    let before = postmortems();
+
+    let ctx = TraceCtx {
+        trace_id: 0xDEAD_BEEF,
+        span_id: 0xFEED,
+    };
+    let tp_header = format!("traceparent: {}", ctx.to_traceparent());
+    let r = send_with_headers(
+        addr,
+        "POST",
+        "/v1/predict",
+        r#"{"model":"best-rf","rows":[[1]]}"#,
+        &[&tp_header],
+    );
+    assert_eq!(r.status, 503, "chaos drops every prediction: {}", r.body);
+    assert_eq!(
+        Json::parse(&r.body)
+            .unwrap()
+            .get("error")
+            .and_then(Json::as_str),
+        Some("chaos_dropped")
+    );
+
+    // The 5xx triggered a postmortem dump. The daemon writes it *after*
+    // responding (bookkeeping never holds the client), so wait for it.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while postmortems() <= before && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        postmortems() > before,
+        "no postmortem-http-5xx-*.jsonl appeared in target/obs"
+    );
+    // ...and the debug endpoint shows the request with its trace id and
+    // error class.
+    let doc = Json::parse(&send(addr, "GET", "/v1/debug/requests", "").body).unwrap();
+    let recent = doc.get("requests").and_then(Json::as_arr).unwrap();
+    assert!(recent.iter().any(|rec| {
+        rec.get("trace_id").and_then(Json::as_str) == Some(ctx.trace_id_hex().as_str())
+            && rec.get("error_class").and_then(Json::as_str) == Some("chaos_dropped")
+            && rec.get("status").and_then(Json::as_u64) == Some(503)
+    }));
+    daemon.shutdown();
+}
+
+#[test]
+fn access_log_lines_join_on_trace_id() {
+    let log_path =
+        std::env::temp_dir().join(format!("psca_access_log_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&log_path);
+    let registry = rf_registry(47);
+    let dim = registry.get("best-rf").unwrap().fw_hi.input_dim().unwrap();
+    let daemon = Daemon::start(
+        ServeConfig {
+            access_log: Some(log_path.clone()),
+            ..ServeConfig::default()
+        },
+        registry,
+    )
+    .expect("bind");
+    let addr = daemon.local_addr();
+
+    let ctx = TraceCtx {
+        trace_id: 0xACCE_55ED,
+        span_id: 0x10,
+    };
+    let tp_header = format!("traceparent: {}", ctx.to_traceparent());
+    let body = format!(
+        r#"{{"model":"best-rf","rows":{}}}"#,
+        rows_json(&probe_rows(dim, 1))
+    );
+    let r = send_with_headers(addr, "POST", "/v1/predict", &body, &[&tp_header]);
+    assert_eq!(r.status, 200, "{}", r.body);
+    daemon.shutdown();
+
+    let text = std::fs::read_to_string(&log_path).expect("access log written");
+    let _ = std::fs::remove_file(&log_path);
+    let line = text
+        .lines()
+        .find(|l| l.contains(&ctx.trace_id_hex()))
+        .expect("access line for the traced request");
+    let doc = Json::parse(line).expect("access line is JSON");
+    assert_eq!(
+        doc.get("event").and_then(Json::as_str),
+        Some("serve.access")
+    );
+    let fields = doc.get("fields").expect("fields object");
+    assert_eq!(
+        fields.get("trace_id").and_then(Json::as_str),
+        Some(ctx.trace_id_hex().as_str())
+    );
+    assert_eq!(fields.get("method").and_then(Json::as_str), Some("POST"));
+    assert_eq!(
+        fields.get("path").and_then(Json::as_str),
+        Some("/v1/predict")
+    );
+    assert_eq!(fields.get("status").and_then(Json::as_u64), Some(200));
+    assert!(fields.get("latency_us").and_then(Json::as_u64).is_some());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Burn rate is exactly (error fraction) / (error budget), on both
+    /// windows, and the alert fires iff it crosses the configured
+    /// threshold.
+    #[test]
+    fn slo_burn_rate_matches_error_fraction(
+        requests in 1u64..500,
+        errors_frac in 0.0f64..1.0,
+        availability in 0.9f64..0.9999,
+        fast_burn in 1.0f64..20.0,
+    ) {
+        let errors = ((requests as f64) * errors_frac) as u64;
+        let spec = SloSpec {
+            availability,
+            fast_burn,
+            // Effectively mute the other alert dimensions.
+            p99_latency_us: u64::MAX,
+            slow_burn: f64::INFINITY,
+            ..SloSpec::default()
+        };
+        let budget = spec.error_budget();
+        let mut engine = SloEngine::new(spec);
+        for i in 0..requests {
+            engine.observe(1_000, 10, i < errors);
+        }
+        let status = engine.status(1_000);
+        prop_assert_eq!(status.window_requests, requests);
+        prop_assert_eq!(status.window_errors, errors);
+        let expected = (errors as f64 / requests as f64) / budget;
+        prop_assert!((status.fast_burn_rate - expected).abs() <= 1e-9 * expected.max(1.0));
+        let avail = 1.0 - errors as f64 / requests as f64;
+        prop_assert!((status.availability.unwrap() - avail).abs() < 1e-12);
+        prop_assert_eq!(status.ok(), status.fast_burn_rate < fast_burn,
+            "alert iff fast burn {} >= threshold {}", status.fast_burn_rate, fast_burn);
+    }
+
+    /// Observations older than the long window never contribute to either
+    /// burn rate once the ring has been swept past them.
+    #[test]
+    fn slo_old_errors_expire(errors in 1u64..50, gap_s in 601u64..2000) {
+        let mut engine = SloEngine::new(SloSpec::default());
+        for _ in 0..errors {
+            engine.observe(1_000, 10, true);
+        }
+        let later_ms = 1_000 + gap_s * 1_000;
+        engine.observe(later_ms, 10, false);
+        let status = engine.status(later_ms);
+        prop_assert_eq!(status.window_errors, 0);
+        prop_assert!(status.fast_burn_rate == 0.0);
+        prop_assert!(status.slow_burn_rate == 0.0);
+    }
+}
