@@ -85,23 +85,14 @@ fn main() {
         Err(e) => eprintln!("[bench] failed to write run report: {e}"),
     }
     // Machine-readable baseline at the repo root, tracked in git so perf
-    // regressions show up in review (docs/PERFORMANCE.md).
-    let mut json = String::from("{\n  \"bench\": \"sim_throughput\",\n");
-    json.push_str(&format!("  \"sim_insts_per_sec\": {:.0},\n", best));
-    json.push_str("  \"per_case_insts_per_sec\": {\n");
-    let cases: Vec<String> = criterion
-        .measurements()
-        .iter()
-        .filter_map(|m| {
-            m.elements_per_sec()
-                .map(|eps| format!("    \"{}\": {:.0}", m.id, eps))
-        })
-        .collect();
-    json.push_str(&cases.join(",\n"));
-    json.push_str("\n  }\n}\n");
-    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    match std::fs::write(root.join("BENCH_sim_throughput.json"), json) {
-        Ok(()) => eprintln!("[bench] baseline: BENCH_sim_throughput.json"),
-        Err(e) => eprintln!("[bench] failed to write BENCH_sim_throughput.json: {e}"),
+    // regressions show up in review (docs/PERFORMANCE.md). The baseline
+    // measurement is the shared suite runner, so `cargo bench` and
+    // `repro bench` write the same unified schema from the same code.
+    use psca_bench::suite::{self, BenchOpts};
+    let result = suite::run_sim_throughput(&BenchOpts::default());
+    let path = suite::baseline_path("sim_throughput");
+    match std::fs::write(&path, format!("{}\n", result.to_json())) {
+        Ok(()) => eprintln!("[bench] baseline: {}", path.display()),
+        Err(e) => eprintln!("[bench] failed to write {}: {e}", path.display()),
     }
 }

@@ -3,86 +3,34 @@
 //!
 //! Not a criterion bench: each measurement is one full corpus build, so a
 //! single timed pass per configuration (after a warmup pass) is both
-//! faster and more representative than statistical sampling. Results land
-//! in `BENCH_sweep.json` at the repo root, tracked in git as the perf
-//! baseline (docs/PERFORMANCE.md).
+//! faster and more representative than statistical sampling. The
+//! measurement itself lives in [`psca_bench::suite::run_sweep`] — this
+//! harness and `repro bench` share it — and the result lands in
+//! `BENCH_sweep.json` at the repo root in the unified bench schema,
+//! tracked in git as the perf baseline (docs/PERFORMANCE.md).
 
-use psca_adapt::{CorpusTelemetry, ExperimentConfig};
-use std::time::Instant;
-
-/// A corpus large enough to amortize pool startup but quick enough for a
-/// CI smoke run (~100 cells).
-fn bench_cfg() -> ExperimentConfig {
-    let mut cfg = ExperimentConfig::quick();
-    cfg.hdtr_apps = 48;
-    cfg.hdtr_traces_per_app = 2;
-    cfg.sweep_cache = None;
-    cfg
-}
-
-/// One timed HDTR corpus build; returns `(seconds, cells)`.
-fn time_hdtr(cfg: &ExperimentConfig) -> (f64, usize) {
-    let t0 = Instant::now();
-    let corpus = CorpusTelemetry::hdtr(cfg);
-    (t0.elapsed().as_secs_f64(), corpus.traces.len())
-}
+use psca_bench::suite::{self, BenchOpts};
 
 fn main() {
     psca_obs::reset_all();
-    let jobs = psca_exec::resolve_jobs(0);
-
-    // Warmup pass: touches the allocator and page cache so the serial
-    // baseline isn't penalized for going first.
-    let mut warm_cfg = bench_cfg();
-    warm_cfg.jobs = 1;
-    let _ = time_hdtr(&warm_cfg);
-
-    let mut serial_cfg = bench_cfg();
-    serial_cfg.jobs = 1;
-    let (serial_s, cells) = time_hdtr(&serial_cfg);
-
-    let mut par_cfg = bench_cfg();
-    par_cfg.jobs = 0; // auto
-    let (par_s, _) = time_hdtr(&par_cfg);
-
-    // Cache cold vs warm, in a scratch dir under target/ so repeated bench
-    // runs start cold.
-    let cache_dir =
-        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/sweep-cache-bench");
-    let _ = std::fs::remove_dir_all(&cache_dir);
-    let mut cached_cfg = bench_cfg();
-    cached_cfg.jobs = 0;
-    cached_cfg.sweep_cache = Some(cache_dir.clone());
-    let (cold_s, _) = time_hdtr(&cached_cfg);
-    let (cache_warm_s, _) = time_hdtr(&cached_cfg);
-    let _ = std::fs::remove_dir_all(&cache_dir);
-
-    let serial_cps = cells as f64 / serial_s.max(f64::MIN_POSITIVE);
-    let par_cps = cells as f64 / par_s.max(f64::MIN_POSITIVE);
-    eprintln!("[bench] {cells} cells, jobs={jobs}");
-    eprintln!("[bench] serial:   {serial_s:.3}s ({serial_cps:.1} cells/s)");
+    let result = suite::run_sweep(&BenchOpts::default());
+    let m = |k: &str| result.metrics.get(k).copied().unwrap_or(0.0);
+    eprintln!("[bench] {} cells, jobs={}", m("cells"), result.jobs);
     eprintln!(
-        "[bench] parallel: {par_s:.3}s ({par_cps:.1} cells/s, {:.2}x)",
-        serial_s / par_s.max(f64::MIN_POSITIVE)
+        "[bench] serial:   {:.1} cells/s; parallel: {:.1} cells/s ({:.2}x)",
+        m("serial_cells_per_sec"),
+        m("parallel_cells_per_sec"),
+        m("speedup_vs_serial")
     );
     eprintln!(
-        "[bench] cache:    cold {cold_s:.3}s, warm {cache_warm_s:.3}s ({:.1}x)",
-        cold_s / cache_warm_s.max(f64::MIN_POSITIVE)
+        "[bench] cache:    cold {:.3}s, warm {:.3}s ({:.1}x)",
+        m("cache_cold_s"),
+        m("cache_warm_s"),
+        m("cache_warm_speedup")
     );
-
-    let json = format!(
-        "{{\n  \"bench\": \"sweep_throughput\",\n  \"cells\": {cells},\n  \"jobs\": {jobs},\n  \
-         \"serial_cells_per_sec\": {serial_cps:.2},\n  \
-         \"parallel_cells_per_sec\": {par_cps:.2},\n  \
-         \"speedup_vs_serial\": {:.3},\n  \
-         \"cache_cold_s\": {cold_s:.3},\n  \"cache_warm_s\": {cache_warm_s:.3},\n  \
-         \"cache_warm_speedup\": {:.1}\n}}\n",
-        serial_s / par_s.max(f64::MIN_POSITIVE),
-        cold_s / cache_warm_s.max(f64::MIN_POSITIVE),
-    );
-    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    match std::fs::write(root.join("BENCH_sweep.json"), json) {
-        Ok(()) => eprintln!("[bench] baseline: BENCH_sweep.json"),
-        Err(e) => eprintln!("[bench] failed to write BENCH_sweep.json: {e}"),
+    let path = suite::baseline_path("sweep");
+    match std::fs::write(&path, format!("{}\n", result.to_json())) {
+        Ok(()) => eprintln!("[bench] baseline: {}", path.display()),
+        Err(e) => eprintln!("[bench] failed to write {}: {e}", path.display()),
     }
 }

@@ -16,7 +16,17 @@
 //! repro -- serve --slo p99_us=50000,availability=0.99 --access-log access.jsonl
 //! repro -- loadgen --addr 127.0.0.1:8186 --rps 50 --duration 2 --out BENCH_serve.json
 //! repro -- slo-check --bench BENCH_serve.json --slo default   # CI gate, exit 1 on breach
+//! repro -- closed-loop --model best-rf --archetype balanced --seed 1
+//! repro -- bench --check --quick     # unified bench suite vs BENCH_*.json baselines
+//! repro -- bench --update            # refresh the committed baselines
+//! repro -- profile closed-loop ...   # any runner + psca-prof flamegraph artifacts
 //! ```
+//!
+//! `repro profile <subcommand>` (or `PSCA_PROF=1`) enables the
+//! hierarchical self-profiler (docs/PROFILING.md). The profiler is an
+//! observer: stdout and all result artifacts stay byte-identical to an
+//! unprofiled run; the collapsed-stack `.folded` + summary JSON land in
+//! `target/obs/`.
 //!
 //! Observability: every experiment driver scopes the global metric
 //! registry to itself (`reset_all()` at entry), so this binary snapshots
@@ -28,11 +38,10 @@ use psca_adapt::experiments::{table1, table2, table3, table4, table5, table6};
 use psca_adapt::ExperimentConfig;
 use psca_bench::{Corpora, EXPERIMENTS};
 use psca_faults::ChaosSpec;
-use psca_obs::{MetricsSnapshot, RunReport};
+use psca_obs::{Json, MetricsSnapshot, RunReport};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Experiments that replay the HDTR corpus (prefetched before the loop so
 /// corpus construction is measured once, outside any experiment scope).
@@ -77,8 +86,7 @@ struct Cli {
     wanted: Vec<String>,
 }
 
-fn parse_cli() -> Cli {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+fn parse_cli(args: &[String]) -> Cli {
     let mut cli = Cli {
         quick: false,
         dash: false,
@@ -408,13 +416,92 @@ fn slo_check_main(args: &[String]) -> ! {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(dispatch(&args))
+}
+
+/// Routes a full argument vector to a subcommand. Factored out of
+/// `main` so `repro profile <subcommand...>` can run any inner runner
+/// and still regain control to write the profile artifacts.
+fn dispatch(args: &[String]) -> i32 {
     match args.first().map(String::as_str) {
         Some("serve") => serve_main(&args[1..]),
         Some("loadgen") => loadgen_main(&args[1..]),
         Some("slo-check") => slo_check_main(&args[1..]),
-        _ => {}
+        Some("closed-loop") => closed_loop_main(&args[1..]),
+        Some("bench") => bench_main(&args[1..]),
+        Some("profile") => profile_main(&args[1..]),
+        _ => experiments_main(args),
     }
-    let cli = parse_cli();
+}
+
+/// `repro profile <subcommand...>`: runs any non-daemon repro invocation
+/// with the hierarchical self-profiler enabled, then writes
+/// `target/obs/profile-<slug>.folded` (collapsed stacks, flamegraph.pl /
+/// inferno consumable) plus a JSON summary and prints the self-time
+/// table to stderr. The wrapped runner's stdout and result artifacts are
+/// byte-identical to an unprofiled run (tests/observability.rs holds the
+/// line).
+fn profile_main(args: &[String]) -> i32 {
+    let usage = "[repro] profile usage: repro profile <closed-loop|bench|EXPERIMENT...> [flags]";
+    let Some(first) = args.first() else {
+        eprintln!("{usage}");
+        return 2;
+    };
+    if matches!(
+        first.as_str(),
+        "serve" | "loadgen" | "slo-check" | "profile"
+    ) {
+        eprintln!(
+            "[repro] profile cannot wrap '{first}'; run it with PSCA_PROF=1 instead \
+             (the daemon exposes GET /v1/profile)"
+        );
+        return 2;
+    }
+    psca_obs::prof::set_enabled(true);
+    psca_obs::prof::reset();
+    let code = dispatch(args);
+    let profile = psca_obs::prof::drain();
+    let slug: String = args
+        .join("-")
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .take(60)
+        .collect();
+    let dir = Path::new("target/obs");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("[repro] profile: cannot create {}: {e}", dir.display());
+        return code;
+    }
+    let folded_path = dir.join(format!("profile-{slug}.folded"));
+    let json_path = dir.join(format!("profile-{slug}.json"));
+    match std::fs::write(&folded_path, profile.folded()) {
+        Ok(()) => eprintln!("[repro] profile: {}", folded_path.display()),
+        Err(e) => eprintln!(
+            "[repro] profile: cannot write {}: {e}",
+            folded_path.display()
+        ),
+    }
+    match std::fs::write(&json_path, format!("{}\n", profile.to_json())) {
+        Ok(()) => eprintln!("[repro] profile: {}", json_path.display()),
+        Err(e) => eprintln!("[repro] profile: cannot write {}: {e}", json_path.display()),
+    }
+    if profile.is_empty() {
+        eprintln!("[repro] profile: no spans recorded (inner runner opened none)");
+    } else {
+        eprint!("{}", profile.render_table(15));
+    }
+    code
+}
+
+/// The default path: regenerate the requested tables and figures.
+fn experiments_main(args: &[String]) -> i32 {
+    let cli = parse_cli(args);
     // Parse the chaos spec up front so a typo fails fast, before any
     // corpus simulation.
     let chaos_spec = match &cli.chaos {
@@ -509,8 +596,10 @@ fn main() {
         // still holds the last experiment, keeping /metrics meaningful
         // during a PSCA_METRICS_LINGER_S window.
         acc.absorb(&psca_obs::snapshot());
-        let _span = psca_obs::SpanTimer::start(&format!("repro.{id}"));
-        let t0 = Instant::now();
+        // One clock snapshot serves both the span (histogram, trace,
+        // profiler) and the report row: `finish()` returns the recorded
+        // duration instead of a second `Instant::now()` read.
+        let span = psca_obs::SpanTimer::start(&format!("repro.{id}"));
         match id.as_str() {
             "table1" => println!("{}", table1::run(&cfg)),
             "table2" => println!("{}", table2::run(&cfg)),
@@ -650,7 +739,7 @@ fn main() {
                 std::process::exit(2);
             }
         }
-        let wall = t0.elapsed().as_secs_f64();
+        let wall = span.finish() as f64 / 1e9;
         report.add_phase(id, wall);
         eprintln!("[repro] {id} done in {wall:.1}s\n");
     }
@@ -680,7 +769,238 @@ fn main() {
     // An explicit `--chaos` run is a gate: SLA budget broken → exit 1.
     if chaos_failed && cli.chaos.is_some() {
         eprintln!("[repro] chaos sweep FAILED its SLA budget");
-        std::process::exit(1);
+        return 1;
+    }
+    0
+}
+
+/// `repro closed-loop`: one deterministic closed-loop adaptation run
+/// (train one model, record a trace, run the controller) with the
+/// summary as JSON on stdout. Stdout is a pure function of the flags —
+/// the acceptance target for `repro profile closed-loop` bit-identity.
+fn closed_loop_main(args: &[String]) -> i32 {
+    use psca_serve::{registry::kind_slug, ModelRegistry};
+    use psca_workloads::PhaseGenerator;
+    let mut model_slug = "best-rf".to_string();
+    let mut archetype_name = "balanced".to_string();
+    let mut seed = 1u64;
+    let mut windows = 16u64;
+    let mut warm_insts = 2_000u64;
+    let usage = "[repro] closed-loop flags: --model SLUG --archetype NAME --seed N \
+                 --windows N --warm-insts N \
+                 (slugs: best-rf best-mlp charstar srch-fine srch-coarse)";
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        i += 1;
+        let value = || {
+            args.get(i).cloned().unwrap_or_else(|| {
+                eprintln!("[repro] {flag} requires a value\n{usage}");
+                std::process::exit(2);
+            })
+        };
+        match flag {
+            "--model" => model_slug = value(),
+            "--archetype" => archetype_name = value(),
+            "--seed" => seed = parse_or_die(&value(), flag),
+            "--windows" => windows = parse_or_die(&value(), flag),
+            "--warm-insts" => warm_insts = parse_or_die(&value(), flag),
+            other => {
+                eprintln!("[repro] unknown closed-loop flag '{other}'\n{usage}");
+                return 2;
+            }
+        }
+        i += 1;
+    }
+    let Some(archetype) = psca_serve::api::parse_archetype(&archetype_name) else {
+        eprintln!("[repro] unknown archetype '{archetype_name}'");
+        return 2;
+    };
+    let Some(kind) = SERVE_KINDS
+        .into_iter()
+        .find(|&k| kind_slug(k) == model_slug)
+    else {
+        eprintln!("[repro] unknown model slug '{model_slug}'\n{usage}");
+        return 2;
+    };
+    psca_obs::init_from_env();
+    let cfg = match ExperimentConfig::builder().seed(seed).build() {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("[repro] bad closed-loop config: {e}");
+            return 2;
+        }
+    };
+    eprintln!("[repro] closed-loop: training {model_slug} (seed {seed})...");
+    let registry = ModelRegistry::train(cfg, &[kind]);
+    let Some(model) = registry.get(&model_slug) else {
+        eprintln!("[repro] closed-loop: training produced no '{model_slug}' model");
+        return 1;
+    };
+    let span = psca_obs::SpanTimer::start("repro.closed_loop");
+    let interval_insts = registry.config().interval_insts;
+    let mut gen = PhaseGenerator::new(archetype.center(), seed);
+    let window_insts = windows * model.granularity_insts(interval_insts);
+    let (warm, window) = psca_adapt::record_trace(&mut gen, warm_insts, window_insts);
+    let result = psca_adapt::ClosedLoopRequest::new(model, &warm, &window, interval_insts).run();
+    let wall = span.finish() as f64 / 1e9;
+    // The summary goes to stdout and carries no wall-clock data, so
+    // profiled and unprofiled runs diff clean.
+    let doc = Json::obj(vec![
+        ("model", model_slug.as_str().into()),
+        ("archetype", format!("{archetype:?}").into()),
+        ("seed", seed.into()),
+        ("windows", (result.modes.len() as u64).into()),
+        ("instructions", result.instructions.into()),
+        ("cycles", result.cycles.into()),
+        ("energy", result.energy.into()),
+        ("ppw", result.ppw().into()),
+        ("low_power_residency", result.low_power_residency.into()),
+    ]);
+    println!("{doc}");
+    eprintln!("[repro] closed-loop done in {wall:.2}s");
+    0
+}
+
+/// `repro bench`: the unified benchmark suite (psca_bench::suite) — runs
+/// every bench (or `--only` a subset), attaches the profiler's top
+/// self-time paths, and optionally refreshes (`--update`) or gates
+/// against (`--check`) the committed `BENCH_*.json` baselines.
+fn bench_main(args: &[String]) -> i32 {
+    use psca_bench::suite::{self, BenchOpts};
+    let mut update = false;
+    let mut check = false;
+    let mut quick = false;
+    let mut seed = 1u64;
+    let mut tolerance: Option<f64> = None;
+    let mut only: Vec<String> = Vec::new();
+    let usage = "[repro] bench flags: --update --check --quick --seed N --tolerance FRAC \
+                 --only name[,name...] (names: sim_throughput sweep inference serve)";
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        i += 1;
+        let value = || {
+            args.get(i).cloned().unwrap_or_else(|| {
+                eprintln!("[repro] {flag} requires a value\n{usage}");
+                std::process::exit(2);
+            })
+        };
+        match flag {
+            "--update" => {
+                update = true;
+                i -= 1;
+            }
+            "--check" => {
+                check = true;
+                i -= 1;
+            }
+            "--quick" => {
+                quick = true;
+                i -= 1;
+            }
+            "--seed" => seed = parse_or_die(&value(), flag),
+            "--tolerance" => tolerance = Some(parse_or_die(&value(), flag)),
+            "--only" => only = value().split(',').map(|s| s.trim().to_string()).collect(),
+            other => {
+                eprintln!("[repro] unknown bench flag '{other}'\n{usage}");
+                return 2;
+            }
+        }
+        i += 1;
+    }
+    let names: Vec<String> = if only.is_empty() {
+        suite::BENCHES.iter().map(|s| s.to_string()).collect()
+    } else {
+        only
+    };
+    for name in &names {
+        if !suite::BENCHES.contains(&name.as_str()) {
+            eprintln!("[repro] unknown bench '{name}'\n{usage}");
+            return 2;
+        }
+    }
+    // Quick runs on loaded CI machines are noisy; default to a wide band
+    // there and a tighter one for full local runs.
+    let tolerance = tolerance.unwrap_or(if quick { 3.0 } else { 0.5 });
+    psca_obs::init_from_env();
+    let opts = BenchOpts { quick, seed };
+    let dir = Path::new("target/obs");
+    let _ = std::fs::create_dir_all(dir);
+    let mut results = Vec::new();
+    let mut combined = psca_obs::Profile::default();
+    for name in &names {
+        eprintln!(
+            "[repro] bench {name} ({} mode, seed {seed})...",
+            if quick { "quick" } else { "full" }
+        );
+        psca_obs::reset_all();
+        psca_obs::prof::set_enabled(true);
+        psca_obs::prof::reset();
+        let mut result = suite::run_bench(name, &opts).expect("validated bench name");
+        let profile = psca_obs::prof::drain();
+        result.profile_top = profile.top_self(5);
+        // Flamegraph-ready per-bench stacks; CI uploads these on failure.
+        let folded_path = dir.join(format!("bench-{name}.folded"));
+        if let Err(e) = std::fs::write(&folded_path, profile.folded()) {
+            eprintln!("[repro] bench: cannot write {}: {e}", folded_path.display());
+        }
+        combined.merge(&profile);
+        results.push(result);
+    }
+    // Leave the union in the global profile so `repro profile bench`
+    // still writes a meaningful .folded for the whole invocation.
+    psca_obs::prof::merge_global(&combined);
+    let mut failed = false;
+    if check {
+        for result in &results {
+            match suite::load_baseline(&result.bench) {
+                Ok(baseline) => {
+                    let violations = suite::check(result, &baseline, tolerance);
+                    if violations.is_empty() {
+                        eprintln!(
+                            "[repro] bench {}: PASS (tolerance {:.0}%)",
+                            result.bench,
+                            tolerance * 100.0
+                        );
+                    } else {
+                        failed = true;
+                        for v in &violations {
+                            eprintln!("[repro] bench REGRESSION: {v}");
+                        }
+                    }
+                }
+                Err(e) => {
+                    failed = true;
+                    eprintln!(
+                        "[repro] bench {}: no usable baseline ({e}); run `repro bench --update`",
+                        result.bench
+                    );
+                }
+            }
+        }
+    }
+    if update {
+        for result in &results {
+            let path = suite::baseline_path(&result.bench);
+            match std::fs::write(&path, format!("{}\n", result.to_json())) {
+                Ok(()) => eprintln!("[repro] bench baseline updated: {}", path.display()),
+                Err(e) => {
+                    failed = true;
+                    eprintln!("[repro] bench: cannot write {}: {e}", path.display());
+                }
+            }
+        }
+    }
+    // Machine-readable results for scripting (one array, unified schema).
+    println!(
+        "{}",
+        Json::Arr(results.iter().map(|r| r.to_json()).collect())
+    );
+    if failed {
+        1
+    } else {
+        0
     }
 }
 
@@ -711,6 +1031,17 @@ fn finalize_report(report: &mut RunReport, snap: &MetricsSnapshot) {
         report.set("faults_injected", faults);
         report.set("degrade_transitions", c("adapt.degrade.transitions"));
         report.set("images_rejected", c("uc.image.rejected"));
+    }
+    // Sweep result cache efficacy: hits / (hits + misses) across every
+    // experiment in the run, plus the bytes the run added to the cache.
+    let cache_hits = c("exec.cache.hits");
+    let cache_misses = c("exec.cache.misses");
+    if cache_hits + cache_misses > 0 {
+        report.set(
+            "sweep_cache_hit_rate",
+            cache_hits as f64 / (cache_hits + cache_misses) as f64,
+        );
+        report.set("sweep_cache_bytes_written", c("exec.cache.bytes_written"));
     }
     let predictions = c("adapt.predictions");
     if predictions > 0 {

@@ -14,6 +14,7 @@
 
 pub mod chart;
 pub mod loadgen;
+pub mod suite;
 
 use psca_adapt::{CorpusTelemetry, ExperimentConfig};
 

@@ -98,7 +98,7 @@ impl Sweep {
         F: Fn(&T) -> R + Sync,
     {
         let cache = self.cache.as_ref();
-        self.dispatch(cells, |cell| {
+        let results = self.dispatch(cells, |cell| {
             let Some(cache) = cache else {
                 return CellOutcome::Computed(f(cell));
             };
@@ -109,10 +109,21 @@ impl Sweep {
             }
             psca_obs::counter("exec.cache.misses").inc();
             let out = f(cell);
-            cache.store(k, &encode(&out));
+            let bytes = encode(&out);
+            cache.store(k, &bytes);
             psca_obs::counter("exec.cache.stores").inc();
+            psca_obs::counter("exec.cache.bytes_written").add(bytes.len() as u64);
             CellOutcome::Computed(out)
-        })
+        });
+        // Cumulative hit rate since the last registry reset, surfaced as
+        // a gauge so `/metrics` and run reports can show cache efficacy
+        // without consumers re-deriving it from two counters.
+        let hits = psca_obs::counter("exec.cache.hits").get();
+        let misses = psca_obs::counter("exec.cache.misses").get();
+        if hits + misses > 0 {
+            psca_obs::gauge("exec.cache.hit_rate").set(hits as f64 / (hits + misses) as f64);
+        }
+        results
     }
 
     fn dispatch<T, R, G>(&self, cells: Vec<T>, g: G) -> Vec<R>

@@ -27,7 +27,11 @@
 //! [`SpanTimer`] ([`span`]) bridges metrics, events, and traces: an RAII
 //! timer that records wall time into `span.<path>` histograms, emits
 //! trace-level enter/exit events, and (when tracing) a Perfetto duration
-//! bar.
+//! bar. The hierarchical self-profiler ([`prof`], opt-in via
+//! `PSCA_PROF=1`) rides the same spans: per-thread call trees with call
+//! counts and self-vs-total wall time, merged across sweep workers and
+//! rendered as collapsed-stack (flamegraph) text plus a self-time table
+//! (`docs/PROFILING.md`).
 //!
 //! On top of these sit three request-scoped facilities:
 //!
@@ -50,6 +54,7 @@ pub mod event;
 pub mod exporter;
 pub mod json;
 pub mod metrics;
+pub mod prof;
 pub mod recorder;
 pub mod report;
 pub mod shard;
@@ -68,6 +73,7 @@ pub use json::Json;
 pub use metrics::{
     Counter, Exemplar, Gauge, Histogram, HistogramSummary, MetricsSnapshot, Registry,
 };
+pub use prof::{NodeStat, Profile};
 pub use recorder::{FlightRecorder, RequestRecord};
 pub use report::{PhaseStat, RunReport, SummaryValue};
 pub use slo::{SloEngine, SloSpec, SloStatus};
@@ -164,7 +170,8 @@ pub fn reset_all() {
 /// - `PSCA_TRACE=<path.json>` starts the Chrome trace-event recorder
 ///   ([`trace`]);
 /// - `PSCA_METRICS_ADDR=<host:port>` starts the live HTTP metrics
-///   exporter ([`exporter`]).
+///   exporter ([`exporter`]);
+/// - `PSCA_PROF=1` enables the hierarchical self-profiler ([`prof`]).
 ///
 /// Returns `true` if any sink was installed.
 pub fn init_from_env() -> bool {
@@ -187,6 +194,7 @@ pub fn init_from_env() -> bool {
     }
     trace::enable_from_env();
     exporter::serve_from_env();
+    prof::init_from_env();
     installed
 }
 

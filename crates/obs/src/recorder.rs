@@ -135,7 +135,9 @@ impl FlightRecorder {
 
     /// Dumps the ring as a JSONL postmortem artifact
     /// `<dir>/postmortem-<reason>-<seq>.jsonl` (oldest record first,
-    /// preceded by a header line naming the reason). Returns the path,
+    /// preceded by a header line naming the reason and — when the
+    /// self-profiler has data — the hottest self-time paths at dump
+    /// time). Returns the path,
     /// or `None` when the ring is empty, the per-process dump cap is
     /// reached, or the write fails (postmortems must never take the
     /// serving path down).
@@ -162,11 +164,33 @@ impl FlightRecorder {
             .collect();
         let last_seq = records.last().map_or(0, |r| r.seq);
         let path = dir.join(format!("postmortem-{slug}-{last_seq}.jsonl"));
-        let header = Json::obj(vec![
+        let mut header_fields = vec![
             ("postmortem", reason.into()),
             ("records", (records.len() as u64).into()),
             ("last_seq", last_seq.into()),
-        ]);
+        ];
+        // When the self-profiler is running, snapshot the hottest paths
+        // at dump time: a postmortem should say not just what the last
+        // N requests were, but where the process was spending its time.
+        let hottest = crate::prof::snapshot().top_self(5);
+        if !hottest.is_empty() {
+            header_fields.push((
+                "hottest_paths",
+                Json::Arr(
+                    hottest
+                        .iter()
+                        .map(|(stack, stat)| {
+                            Json::obj(vec![
+                                ("stack", stack.as_str().into()),
+                                ("self_us", (stat.self_ns / 1_000).into()),
+                                ("calls", stat.calls.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        let header = Json::obj(header_fields);
         let mut body = String::with_capacity(records.len() * 160);
         body.push_str(&header.to_string());
         body.push('\n');

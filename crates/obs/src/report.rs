@@ -83,12 +83,13 @@ impl From<&str> for SummaryValue {
 /// RAII phase handle returned by [`RunReport::phase`].
 ///
 /// Also opens a [`SpanTimer`], so phases show up both in the report and
-/// in the `span.*` histograms.
+/// in the `span.*` histograms. The span's single clock snapshot is the
+/// phase's wall time — the report row and the histogram record always
+/// agree exactly.
 pub struct PhaseGuard<'a> {
     report: &'a mut RunReport,
     name: String,
-    start: Instant,
-    _span: SpanTimer,
+    span: Option<SpanTimer>,
 }
 
 impl PhaseGuard<'_> {
@@ -100,9 +101,13 @@ impl PhaseGuard<'_> {
 
 impl Drop for PhaseGuard<'_> {
     fn drop(&mut self) {
+        let wall_s = self
+            .span
+            .take()
+            .map_or(0.0, |span| span.finish() as f64 / 1e9);
         self.report.phases.push(PhaseStat {
             name: std::mem::take(&mut self.name),
-            wall_s: self.start.elapsed().as_secs_f64(),
+            wall_s,
         });
     }
 }
@@ -142,8 +147,7 @@ impl RunReport {
         let span = SpanTimer::start(name);
         PhaseGuard {
             name: name.to_string(),
-            start: Instant::now(),
-            _span: span,
+            span: Some(span),
             report: self,
         }
     }

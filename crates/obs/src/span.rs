@@ -9,9 +9,18 @@
 //! [`Level::Trace`], and — when `PSCA_TRACE` recording is active
 //! ([`crate::trace`]) — a Chrome trace-event *complete* record, so spans
 //! render as nested duration bars in Perfetto.
+//!
+//! When the hierarchical profiler is on ([`crate::prof`], `PSCA_PROF=1`)
+//! each span additionally maintains a profiling frame, so call counts
+//! and self-vs-total wall time accumulate per collapsed stack.
+//!
+//! The clock is read **once** per span exit: the histogram record, the
+//! Perfetto duration, the `span.exit` event's `wall_ns` field, and the
+//! profiler frame all report that same snapshot (callers can observe it
+//! via [`SpanTimer::finish`]).
 
 use crate::event::{emit, FieldValue, Level};
-use crate::{metrics, trace};
+use crate::{metrics, prof, trace};
 use std::cell::RefCell;
 use std::time::Instant;
 
@@ -28,6 +37,12 @@ pub struct SpanTimer {
     /// Trace-relative start in µs; `u64::MAX` when recording was off at
     /// span entry (avoids locking the recorder on drop).
     trace_ts_us: u64,
+    /// Profiler frame depth; `usize::MAX` when profiling was off at
+    /// span entry (the frame stack must stay balanced even if the
+    /// profiler is toggled mid-span).
+    prof_depth: usize,
+    /// Set by [`SpanTimer::finish`] so drop does not record twice.
+    recorded: bool,
 }
 
 impl SpanTimer {
@@ -44,6 +59,11 @@ impl SpanTimer {
             stack.push(path.clone());
             (path, stack.len())
         });
+        let prof_depth = if prof::enabled() {
+            prof::frame_enter(name)
+        } else {
+            usize::MAX
+        };
         emit(
             Level::Trace,
             "span.enter",
@@ -58,6 +78,8 @@ impl SpanTimer {
             } else {
                 u64::MAX
             },
+            prof_depth,
+            recorded: false,
         }
     }
 
@@ -70,16 +92,30 @@ impl SpanTimer {
     pub fn elapsed_s(&self) -> f64 {
         self.start.elapsed().as_secs_f64()
     }
-}
 
-impl Drop for SpanTimer {
-    fn drop(&mut self) {
+    /// Ends the span and returns the recorded wall nanoseconds — the
+    /// exact value the histogram, trace event, and profiler received,
+    /// from a single clock read. Use this instead of timing the span
+    /// region with a second `Instant` (which would report a slightly
+    /// different duration than the span's own record).
+    pub fn finish(mut self) -> u64 {
+        self.record_exit()
+    }
+
+    /// Records the span exit exactly once; shared by `finish` and drop.
+    fn record_exit(&mut self) -> u64 {
+        // Single clock snapshot: every consumer below sees the same
+        // duration.
         let ns = self.start.elapsed().as_nanos() as u64;
+        self.recorded = true;
         metrics::global()
             .histogram(&format!("span.{}", self.path))
             .record(ns);
         if self.trace_ts_us != u64::MAX && trace::enabled() {
             trace::complete(&self.path, self.trace_ts_us, ns / 1_000);
+        }
+        if self.prof_depth != usize::MAX {
+            prof::frame_exit(self.prof_depth, ns);
         }
         emit(
             Level::Trace,
@@ -95,6 +131,15 @@ impl Drop for SpanTimer {
             // scope, truncate back to this span's depth to stay sane.
             stack.truncate(self.depth_on_entry.saturating_sub(1));
         });
+        ns
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        if !self.recorded {
+            self.record_exit();
+        }
     }
 }
 
@@ -129,5 +174,19 @@ mod tests {
         }
         let h = metrics::global().histogram("span.span_histogram_roundtrip");
         assert!(h.count() >= 1);
+    }
+
+    #[test]
+    fn finish_reports_the_recorded_duration_once() {
+        let before = metrics::global().histogram("span.span_finish_once").count();
+        let t = SpanTimer::start("span_finish_once");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let ns = t.finish();
+        assert!(ns >= 1_000_000, "slept 1ms but finish() saw {ns}ns");
+        let h = metrics::global().histogram("span.span_finish_once");
+        assert_eq!(h.count(), before + 1, "finish must record exactly once");
+        // The histogram saw the same single snapshot finish returned.
+        assert!(h.sum() >= ns);
+        assert_eq!(current_path(), None);
     }
 }

@@ -18,8 +18,11 @@
 //! postmortem dumps to `target/obs/` on 5xx / SLO alert / degradation
 //! escalation), the latency histogram's exemplar, and — when
 //! `PSCA_ACCESS_LOG` or [`ServeConfig::access_log`] is set — a JSONL
-//! access log. None of this changes any computed result: responses are
-//! bit-identical with tracing on or off.
+//! access log. Under `PSCA_PROF=1` the hierarchical self-profiler
+//! accumulates per-stack self time, scrapeable live via
+//! `GET /v1/profile` (top self-time nodes since the last scrape). None
+//! of this changes any computed result: responses are bit-identical
+//! with tracing or profiling on or off.
 
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
@@ -701,6 +704,7 @@ fn endpoint_key(method: &str, path: &str) -> &'static str {
         (_, "/v1/models") => "models",
         (_, "/v1/shutdown") => "shutdown",
         (_, "/v1/slo") => "slo",
+        (_, "/v1/profile") => "profile",
         (_, "/v1/debug/requests") => "debug_requests",
         (_, "/metrics") => "metrics",
         (_, "/healthz") => "healthz",
@@ -833,6 +837,36 @@ fn route(req: &HttpRequest, shared: &Shared, rsp: &mut Responder<'_>) -> Result<
             rsp.send(200, "application/json", &body);
             Ok(false)
         }
+        ("GET", "/v1/profile") => {
+            // Self-profiler scrape: the top self-time call-tree nodes
+            // accumulated since the previous scrape. Reading drains the
+            // global profile, so successive scrapes cover disjoint
+            // windows — the natural shape for a poller watching a
+            // loaded daemon live. Off (`enabled: false`) unless the
+            // process runs with PSCA_PROF=1.
+            let enabled = psca_obs::prof::enabled();
+            let profile = psca_obs::prof::drain();
+            let top: Vec<Json> = profile
+                .top_self(20)
+                .iter()
+                .map(|(stack, stat)| {
+                    Json::obj(vec![
+                        ("stack", stack.as_str().into()),
+                        ("calls", stat.calls.into()),
+                        ("total_us", (stat.total_ns / 1_000).into()),
+                        ("self_us", (stat.self_ns / 1_000).into()),
+                    ])
+                })
+                .collect();
+            let body = Json::obj(vec![
+                ("enabled", enabled.into()),
+                ("stacks", (profile.len() as u64).into()),
+                ("top", Json::Arr(top)),
+            ])
+            .to_string();
+            rsp.send(200, "application/json", &body);
+            Ok(false)
+        }
         ("GET", "/v1/models") => {
             rsp.send(
                 200,
@@ -880,7 +914,7 @@ fn route(req: &HttpRequest, shared: &Shared, rsp: &mut Responder<'_>) -> Result<
         }
         (
             method,
-            path @ ("/healthz" | "/readyz" | "/metrics" | "/v1/models" | "/v1/slo"
+            path @ ("/healthz" | "/readyz" | "/metrics" | "/v1/models" | "/v1/slo" | "/v1/profile"
             | "/v1/debug/requests"),
         ) => Err(ApiError::method_not_allowed(method, path)),
         (method, path @ ("/v1/predict" | "/v1/closed-loop" | "/v1/shutdown")) => {

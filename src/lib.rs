@@ -18,7 +18,10 @@
 //!   training, the adaptive closed loop, and every experiment in §5–§7
 //! - [`faults`] — deterministic fault injection for the chaos harness and
 //!   the graceful-degradation ladder (`docs/ROBUSTNESS.md`)
-//! - [`obs`] — metrics, structured events, and run reports
+//! - [`exec`] — the parallel experiment engine: deterministic sweeps,
+//!   worker pool, persistent result cache
+//! - [`obs`] — metrics, structured events, run reports, and the
+//!   `psca-prof` hierarchical self-profiler (`docs/PROFILING.md`)
 //! - [`serve`] — the adaptation-as-a-service HTTP daemon
 //!   (`docs/SERVING.md`)
 //!
@@ -40,6 +43,7 @@
 
 pub use psca_adapt as adapt;
 pub use psca_cpu as cpu;
+pub use psca_exec as exec;
 pub use psca_faults as faults;
 pub use psca_ml as ml;
 pub use psca_obs as obs;

@@ -443,6 +443,207 @@ fn access_log_lines_join_on_trace_id() {
     assert!(fields.get("latency_us").and_then(Json::as_u64).is_some());
 }
 
+// ---------------------------------------------------------------------
+// psca-prof: the hierarchical self-profiler (docs/PROFILING.md).
+//
+// The profiler's global state (enabled flag + merged profile) is shared
+// by every test in this binary, so tests that flip it or drain it
+// serialize on PROF_LOCK. Tests that don't touch the profiler may run
+// concurrently: the profiler observing their spans is exactly the
+// situation the bit-identity guarantee covers.
+// ---------------------------------------------------------------------
+
+static PROF_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn lock_prof() -> std::sync::MutexGuard<'static, ()> {
+    PROF_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Profiling on vs off must not change a single byte of experiment
+/// output — here `repro table3`'s stdout (training opens `ml.*.fit`
+/// spans, so the profiled run demonstrably captured stacks while
+/// producing identical results).
+#[test]
+fn profiler_keeps_table3_bit_identical() {
+    use psca::adapt::{experiments::table3, CorpusTelemetry, ExperimentConfig};
+    let mut cfg = ExperimentConfig::quick();
+    cfg.hdtr_apps = 8;
+    cfg.jobs = 2;
+    let corpus = CorpusTelemetry::hdtr(&cfg);
+    let _g = lock_prof();
+    psca::obs::prof::set_enabled(false);
+    let off = table3::run(&cfg, &corpus).to_string();
+    psca::obs::prof::set_enabled(true);
+    let _ = psca::obs::prof::drain();
+    let on = table3::run(&cfg, &corpus).to_string();
+    let profile = psca::obs::prof::drain();
+    psca::obs::prof::set_enabled(false);
+    assert_eq!(off, on, "profiling must not change table3 output");
+    assert!(
+        profile
+            .nodes()
+            .any(|(stack, _)| stack.contains("ml.") && stack.contains(".fit")),
+        "profiled table3 run must capture training spans; got {} stacks",
+        profile.len()
+    );
+}
+
+/// Served bytes stay bit-identical with profiling on, and
+/// `GET /v1/profile` scrapes (and consumes) the captured stacks.
+#[test]
+fn profiler_keeps_served_predictions_bit_identical_and_scrapes() {
+    let registry = rf_registry(53);
+    let dim = registry.get("best-rf").unwrap().fw_hi.input_dim().unwrap();
+    let daemon = Daemon::start(ServeConfig::default(), registry).expect("bind");
+    let addr = daemon.local_addr();
+    let body = format!(
+        r#"{{"model":"best-rf","rows":{}}}"#,
+        rows_json(&probe_rows(dim, 6))
+    );
+
+    let _g = lock_prof();
+    psca::obs::prof::set_enabled(false);
+    let scrape = send(addr, "GET", "/v1/profile", "");
+    assert_eq!(scrape.status, 200, "{}", scrape.body);
+    assert_eq!(
+        Json::parse(&scrape.body)
+            .unwrap()
+            .get("enabled")
+            .and_then(Json::as_bool),
+        Some(false)
+    );
+
+    let off = send(addr, "POST", "/v1/predict", &body);
+    assert_eq!(off.status, 200, "{}", off.body);
+
+    psca::obs::prof::set_enabled(true);
+    let _ = psca::obs::prof::drain();
+    let on = send(addr, "POST", "/v1/predict", &body);
+    assert_eq!(on.status, 200);
+    assert_eq!(
+        off.body, on.body,
+        "served predictions must be bit-identical with profiling on"
+    );
+
+    // The ingress span lands in the global profile when the worker
+    // finishes bookkeeping, which may trail the response: poll the
+    // scrape (each read drains, so a late span is caught by a later
+    // scrape) until it shows up.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let scrape = send(addr, "GET", "/v1/profile", "");
+        assert_eq!(scrape.status, 200);
+        let doc = Json::parse(&scrape.body).unwrap();
+        assert_eq!(doc.get("enabled").and_then(Json::as_bool), Some(true));
+        let seen = doc.get("top").and_then(Json::as_arr).is_some_and(|top| {
+            top.iter().any(|n| {
+                n.get("stack")
+                    .and_then(Json::as_str)
+                    .is_some_and(|s| s.contains("serve.request"))
+            })
+        });
+        if seen {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no serve.request stack in /v1/profile; last scrape: {}",
+            scrape.body
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    psca::obs::prof::set_enabled(false);
+    daemon.shutdown();
+}
+
+/// The per-cell profile shards merge commutatively, so the call tree
+/// (stacks and call counts — timings are wall clock and naturally vary)
+/// is invariant under the worker count, exactly like series shards.
+#[test]
+fn profile_shard_merge_is_job_count_invariant() {
+    let run = |jobs: usize| -> Vec<(String, u64)> {
+        psca::obs::prof::set_enabled(true);
+        let _ = psca::obs::prof::drain();
+        let cells: Vec<u64> = (0..12).collect();
+        let _ = psca::exec::Sweep::new("proftest")
+            .jobs(jobs)
+            .run(cells, |&c| {
+                let outer = psca::obs::SpanTimer::start("proftest.outer");
+                {
+                    let _inner = psca::obs::SpanTimer::start("proftest.inner");
+                    std::hint::black_box(c.wrapping_mul(c));
+                }
+                drop(outer);
+                c
+            });
+        psca::obs::prof::drain()
+            .nodes()
+            .filter(|(stack, _)| stack.starts_with("proftest"))
+            .map(|(stack, stat)| (stack.to_string(), stat.calls))
+            .collect()
+    };
+    let _g = lock_prof();
+    let serial = run(1);
+    let parallel = run(4);
+    psca::obs::prof::set_enabled(false);
+    assert_eq!(
+        serial, parallel,
+        "profile stacks and call counts must not depend on jobs"
+    );
+    assert_eq!(
+        serial,
+        vec![
+            ("proftest.outer".to_string(), 12),
+            ("proftest.outer;proftest.inner".to_string(), 12),
+        ]
+    );
+}
+
+#[test]
+fn folded_parser_rejects_malformed_lines() {
+    use psca::obs::Profile;
+    assert!(Profile::parse_folded("a;b 12\nc 3\n").is_some());
+    assert!(Profile::parse_folded("novalue\n").is_none());
+    assert!(Profile::parse_folded("a;b twelve\n").is_none());
+    assert!(Profile::parse_folded(" 12\n").is_none());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The collapsed-stack grammar round-trips: rendering a profile and
+    /// parsing it back preserves every stack's self time, and re-rendering
+    /// is byte-identical (only self time survives folding by design).
+    #[test]
+    fn folded_roundtrip_is_lossless_for_self_time(
+        entries in prop::collection::vec(
+            (0usize..6, 0usize..6, 1usize..4, 0u64..1_000_000),
+            1..12,
+        )
+    ) {
+        // Frame names exercise the grammar's corners: dots inside names,
+        // digits, underscores (`;` and spaces are what the format reserves).
+        const NAMES: [&str; 6] =
+            ["serve.request", "sim.window", "ml.rf.fit", "a", "x_1", "repro.fig8"];
+        let mut p = psca::obs::Profile::default();
+        for &(first, second, depth, self_us) in &entries {
+            let mut stack = NAMES[first].to_string();
+            for d in 1..depth {
+                stack.push(';');
+                stack.push_str(NAMES[(second + d) % NAMES.len()]);
+            }
+            p.record(&stack, self_us * 1_000, self_us * 1_000);
+        }
+        let folded = p.folded();
+        let parsed = psca::obs::Profile::parse_folded(&folded).expect("round-trip parse");
+        prop_assert_eq!(parsed.folded(), folded);
+        prop_assert_eq!(parsed.len(), p.len());
+        for (stack, stat) in p.nodes() {
+            prop_assert_eq!(parsed.node(stack).expect("stack survives").self_ns, stat.self_ns);
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
