@@ -28,6 +28,10 @@ pub struct ClosedLoopOptions {
     pub faults: Option<ChaosSpec>,
     /// Degradation-ladder tuning; consulted only on the hardened path.
     pub degrade: DegradeConfig,
+    /// Core parameterization to simulate. `None` runs the paper's
+    /// scaled-Skylake machine; fleet harnesses pass per-die skewed
+    /// configs here so one loop models one physical die.
+    pub cpu: Option<CpuConfig>,
     /// Run the hardened engine (watchdog + degradation accounting) even
     /// with no faults enabled. The accounting result stays bit-identical
     /// to the fast path — a regression test enforces it.
@@ -87,6 +91,12 @@ impl<'a> ClosedLoopRequest<'a> {
         self
     }
 
+    /// Simulates `cpu` instead of the default scaled-Skylake machine.
+    pub fn with_cpu(mut self, cpu: CpuConfig) -> ClosedLoopRequest<'a> {
+        self.options.cpu = Some(cpu);
+        self
+    }
+
     /// Forces the hardened engine even without faults.
     pub fn hardened(mut self) -> ClosedLoopRequest<'a> {
         self.options.hardened = true;
@@ -108,7 +118,13 @@ impl<'a> ClosedLoopRequest<'a> {
     /// [`run_hardened`](ClosedLoopRequest::run_hardened) to keep it).
     pub fn run(&self) -> ClosedLoopResult {
         if !self.options.hardened && !self.faults_enabled() {
-            return plain_loop(self.model, self.warm, self.window, self.interval_insts);
+            return plain_loop(
+                self.model,
+                self.warm,
+                self.window,
+                self.interval_insts,
+                self.options.cpu.as_ref(),
+            );
         }
         self.run_hardened().result
     }
@@ -125,6 +141,7 @@ impl<'a> ClosedLoopRequest<'a> {
             self.warm,
             self.window,
             self.interval_insts,
+            self.options.cpu.as_ref(),
             &mut injector,
             self.options.degrade,
         )
@@ -197,10 +214,11 @@ fn plain_loop(
     warm: &VecTrace,
     window: &VecTrace,
     interval_insts: u64,
+    cpu: Option<&CpuConfig>,
 ) -> ClosedLoopResult {
     let _span = psca_obs::SpanTimer::start("adapt.closed_loop");
     let g = model.granularity;
-    let mut sim = ClusterSim::new(CpuConfig::skylake_scaled());
+    let mut sim = ClusterSim::new(cpu.cloned().unwrap_or_else(CpuConfig::skylake_scaled));
     let mut warm_replay = warm.clone();
     sim.warm_up(&mut warm_replay, warm.len() as u64);
     let mut replay = window.clone();
@@ -360,7 +378,15 @@ pub fn run_closed_loop_hardened(
     injector: &mut FaultInjector,
     degrade_cfg: DegradeConfig,
 ) -> HardenedLoopResult {
-    hardened_loop(model, warm, window, interval_insts, injector, degrade_cfg)
+    hardened_loop(
+        model,
+        warm,
+        window,
+        interval_insts,
+        None,
+        injector,
+        degrade_cfg,
+    )
 }
 
 /// The watchdog engine behind [`ClosedLoopRequest::run_hardened`]. Takes
@@ -371,12 +397,13 @@ fn hardened_loop(
     warm: &VecTrace,
     window: &VecTrace,
     interval_insts: u64,
+    cpu: Option<&CpuConfig>,
     injector: &mut FaultInjector,
     degrade_cfg: DegradeConfig,
 ) -> HardenedLoopResult {
     let _span = psca_obs::SpanTimer::start("adapt.closed_loop.hardened");
     let g = model.granularity;
-    let mut sim = ClusterSim::new(CpuConfig::skylake_scaled());
+    let mut sim = ClusterSim::new(cpu.cloned().unwrap_or_else(CpuConfig::skylake_scaled));
     let mut warm_replay = warm.clone();
     sim.warm_up(&mut warm_replay, warm.len() as u64);
     let mut replay = window.clone();

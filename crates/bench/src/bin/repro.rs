@@ -17,6 +17,8 @@
 //! repro -- loadgen --addr 127.0.0.1:8186 --rps 50 --duration 2 --out BENCH_serve.json
 //! repro -- slo-check --bench BENCH_serve.json --slo default   # CI gate, exit 1 on breach
 //! repro -- closed-loop --model best-rf --archetype balanced --seed 1
+//! repro -- fleet --size 8 --seed 1                   # skewed dies + staged rollout
+//! repro -- fleet --bad-image --out fleet.json        # CI rollback gate, exit 1
 //! repro -- bench --check --quick     # unified bench suite vs BENCH_*.json baselines
 //! repro -- bench --update            # refresh the committed baselines
 //! repro -- profile closed-loop ...   # any runner + psca-prof flamegraph artifacts
@@ -179,9 +181,16 @@ fn serve_main(args: &[String]) -> ! {
         psca_adapt::ModelKind::BestMlp,
     ];
     let usage = "[repro] serve flags: --addr HOST:PORT --workers N --queue N \
-                 --max-connections N --chaos SPEC --slo SPEC|off --access-log PATH \
-                 --seed N --models slug[,slug...] \
+                 --max-connections N --read-timeout-ms N --chaos SPEC --slo SPEC|off \
+                 --access-log PATH --seed N --models slug[,slug...] \
                  (slugs: best-rf best-mlp charstar srch-fine srch-coarse)";
+    // Environment seeds the slow-client deadline; the flag overrides it.
+    if let Some(ms) = std::env::var("PSCA_READ_TIMEOUT_MS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+    {
+        config.read_timeout_ms = ms;
+    }
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -197,6 +206,7 @@ fn serve_main(args: &[String]) -> ! {
             "--workers" => config.workers = parse_or_die(&value(), flag),
             "--queue" => config.queue_capacity = parse_or_die(&value(), flag),
             "--max-connections" => config.max_connections = parse_or_die(&value(), flag),
+            "--read-timeout-ms" => config.read_timeout_ms = parse_or_die(&value(), flag),
             "--seed" => seed = parse_or_die(&value(), flag),
             "--chaos" => match ChaosSpec::parse(&value()) {
                 Ok(spec) => config.chaos = Some(spec),
@@ -428,6 +438,7 @@ fn dispatch(args: &[String]) -> i32 {
         Some("loadgen") => loadgen_main(&args[1..]),
         Some("slo-check") => slo_check_main(&args[1..]),
         Some("closed-loop") => closed_loop_main(&args[1..]),
+        Some("fleet") => fleet_main(&args[1..]),
         Some("bench") => bench_main(&args[1..]),
         Some("profile") => profile_main(&args[1..]),
         _ => experiments_main(args),
@@ -862,6 +873,142 @@ fn closed_loop_main(args: &[String]) -> i32 {
     0
 }
 
+/// `repro fleet`: N skewed dies, staged firmware rollout with canary
+/// cohorts, automatic rollback on RSV regression (docs/FLEET.md). The
+/// report JSON on stdout is a pure function of the flags — byte-identical
+/// across runs and across `--jobs` settings. Exit 1 iff the rollout
+/// rolled back (the CI gate), 2 on usage errors.
+fn fleet_main(args: &[String]) -> i32 {
+    use psca_fleet::{run_fleet, FleetParams, RolloutSpec, SkewSpec};
+    let mut params = FleetParams::default();
+    let mut jobs = 0usize;
+    let mut out: Option<std::path::PathBuf> = None;
+    let usage = "[repro] fleet flags: --size N --seed N --windows N --skew SPEC|off \
+                 --rollout SPEC|off --chaos SPEC --jobs N --bad-image --out PATH";
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        i += 1;
+        let value = || {
+            args.get(i).cloned().unwrap_or_else(|| {
+                eprintln!("[repro] {flag} requires a value\n{usage}");
+                std::process::exit(2);
+            })
+        };
+        match flag {
+            "--size" => params.size = parse_or_die(&value(), flag),
+            "--seed" => params.seed = parse_or_die(&value(), flag),
+            "--windows" => params.windows = parse_or_die(&value(), flag),
+            "--jobs" => jobs = parse_or_die(&value(), flag),
+            "--skew" => match SkewSpec::parse(&value()) {
+                Ok(spec) => params.skew = spec,
+                Err(e) => {
+                    eprintln!("[repro] bad --skew spec: {e}");
+                    return 2;
+                }
+            },
+            "--rollout" => match RolloutSpec::parse(&value()) {
+                Ok(spec) => params.rollout = spec,
+                Err(e) => {
+                    eprintln!("[repro] bad --rollout spec: {e}");
+                    return 2;
+                }
+            },
+            "--chaos" => match ChaosSpec::parse(&value()) {
+                Ok(spec) => params.chaos = Some(spec),
+                Err(e) => {
+                    eprintln!("[repro] bad --chaos spec: {e}");
+                    return 2;
+                }
+            },
+            "--bad-image" => {
+                params.bad_image = true;
+                i -= 1;
+            }
+            "--out" => out = Some(std::path::PathBuf::from(value())),
+            other => {
+                eprintln!("[repro] unknown fleet flag '{other}'\n{usage}");
+                return 2;
+            }
+        }
+        i += 1;
+    }
+    if params.size == 0 {
+        eprintln!("[repro] --size must be at least 1\n{usage}");
+        return 2;
+    }
+    psca_obs::init_from_env();
+    let cfg = match ExperimentConfig::builder()
+        .seed(params.seed)
+        .jobs(jobs)
+        .build()
+    {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("[repro] bad fleet config: {e}");
+            return 2;
+        }
+    };
+    eprintln!(
+        "[repro] fleet: {} dies, seed {}, rollout {}...",
+        params.size,
+        params.seed,
+        match params.rollout {
+            Some(spec) => spec.to_string(),
+            None => "off".to_string(),
+        }
+    );
+    let span = psca_obs::SpanTimer::start("repro.fleet");
+    let report = run_fleet(&cfg, &params);
+    let wall = span.finish() as f64 / 1e9;
+    // Human-readable tables to stderr; the deterministic report to stdout.
+    eprint!("{report}");
+    let doc = report.to_json();
+    println!("{doc}");
+    if let Some(path) = &out {
+        if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
+            eprintln!("[repro] fleet: cannot write {}: {e}", path.display());
+            return 1;
+        }
+        eprintln!("[repro] fleet report: {}", path.display());
+    }
+    // Publish a run report (artifact + live /report endpoint) and honor
+    // the CI linger window, like the experiment drivers do.
+    let mut run_report = RunReport::new(&format!("fleet-{}", params.seed));
+    run_report.add_phase("repro.fleet", wall);
+    run_report.set("fleet_size", params.size as u64);
+    run_report.set("fleet_status", report.status);
+    run_report.set("fleet_rsv", report.fleet_rsv);
+    run_report.set("fleet_ppw", report.fleet_ppw);
+    run_report.set("fleet_quarantined", report.quarantined.len() as u64);
+    match run_report.write_with(Path::new("target/obs"), &psca_obs::snapshot()) {
+        Ok(path) => eprintln!("[repro] run report: {}", path.display()),
+        Err(e) => eprintln!("[repro] failed to write run report: {e}"),
+    }
+    if let Ok(linger) = std::env::var("PSCA_METRICS_LINGER_S") {
+        if let Ok(secs) = linger.trim().parse::<u64>() {
+            if psca_obs::exporter::global_addr().is_some() && secs > 0 {
+                eprintln!("[repro] lingering {secs}s for metric scrapes");
+                std::thread::sleep(std::time::Duration::from_secs(secs));
+            }
+        }
+    }
+    psca_obs::exporter::shutdown_global();
+    eprintln!(
+        "[repro] fleet {} in {wall:.2}s",
+        if report.pass {
+            "PASS"
+        } else {
+            "FAIL (rolled back)"
+        }
+    );
+    if report.pass {
+        0
+    } else {
+        1
+    }
+}
+
 /// `repro bench`: the unified benchmark suite (psca_bench::suite) — runs
 /// every bench (or `--only` a subset), attaches the profiler's top
 /// self-time paths, and optionally refreshes (`--update`) or gates
@@ -952,6 +1099,11 @@ fn bench_main(args: &[String]) -> i32 {
     // still writes a meaningful .folded for the whole invocation.
     psca_obs::prof::merge_global(&combined);
     let mut failed = false;
+    // A missing or unreadable baseline is an operator problem, not a
+    // performance regression: it exits 2 (like a usage error) so CI can
+    // tell "run `repro bench --update` and commit" apart from "the code
+    // got slower" (exit 1).
+    let mut baseline_error = false;
     if check {
         for result in &results {
             match suite::load_baseline(&result.bench) {
@@ -971,9 +1123,10 @@ fn bench_main(args: &[String]) -> i32 {
                     }
                 }
                 Err(e) => {
-                    failed = true;
+                    baseline_error = true;
                     eprintln!(
-                        "[repro] bench {}: no usable baseline ({e}); run `repro bench --update`",
+                        "[repro] bench {}: no usable baseline ({e}); \
+                         run `repro bench --update` and commit the refreshed BENCH_*.json",
                         result.bench
                     );
                 }
@@ -997,7 +1150,9 @@ fn bench_main(args: &[String]) -> i32 {
         "{}",
         Json::Arr(results.iter().map(|r| r.to_json()).collect())
     );
-    if failed {
+    if baseline_error {
+        2
+    } else if failed {
         1
     } else {
         0

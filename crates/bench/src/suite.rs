@@ -357,8 +357,18 @@ pub fn load_baseline(bench: &str) -> Result<BenchResult, String> {
     let text = std::fs::read_to_string(&path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
     let doc = Json::parse(&text).map_err(|e| format!("{} is not JSON: {e}", path.display()))?;
-    BenchResult::from_json(&doc)
-        .ok_or_else(|| format!("{} is not a bench document", path.display()))
+    let result = BenchResult::from_json(&doc)
+        .ok_or_else(|| format!("{} is not a bench document", path.display()))?;
+    // A document that parses but carries no numeric metrics (a legacy
+    // schema this parser can't salvage, or a hand-edited stub) would gate
+    // nothing and silently pass; surface it as unusable instead.
+    if result.metrics.is_empty() {
+        return Err(format!(
+            "{} has no usable metrics (legacy or empty schema)",
+            path.display()
+        ));
+    }
+    Ok(result)
 }
 
 /// Simulator throughput: instructions/sec through the clustered core

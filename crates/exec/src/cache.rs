@@ -3,11 +3,15 @@
 //! Each cell result is stored as `<dir>/<key:016x>.bin` where `key` is the
 //! caller's content digest over everything that determines the cell's
 //! output (workload identity, config fields, seeds, codec schema). Files
-//! are written to a temporary name and atomically renamed into place, so
-//! concurrent workers — or concurrent processes — never observe a
-//! half-written entry. A corrupt or undecodable entry is treated as a
-//! miss and overwritten.
+//! are written to a temporary name, fsynced, and atomically renamed into
+//! place (with a directory fsync sealing the rename), so concurrent
+//! workers — or concurrent processes, or a crash mid-publish — never
+//! observe a half-written entry. A corrupt or undecodable entry is
+//! treated as a miss and overwritten; in particular a zero-length file
+//! (the tell-tale of a create that never got its data flushed) reads as
+//! a miss instead of reaching the JSON decoder.
 
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -40,11 +44,25 @@ impl SweepCache {
     }
 
     /// Returns the stored bytes for `key`, or `None` on a miss.
+    ///
+    /// A zero-length entry is a truncated publish from a crashed writer
+    /// (no valid cell result encodes to zero bytes); it is reported as a
+    /// miss so the cell recomputes and overwrites it.
     pub fn load(&self, key: u64) -> Option<Vec<u8>> {
-        std::fs::read(self.entry_path(key)).ok()
+        let bytes = std::fs::read(self.entry_path(key)).ok()?;
+        if bytes.is_empty() {
+            psca_obs::counter("exec.cache.corrupt").inc();
+            return None;
+        }
+        Some(bytes)
     }
 
-    /// Stores `bytes` under `key` via an atomic temp-file rename.
+    /// Stores `bytes` under `key` via fsync + atomic temp-file rename.
+    ///
+    /// The temp file is flushed to stable storage before the rename and
+    /// the parent directory is fsynced after it, so a crash at any point
+    /// leaves either no entry or the complete one — never a truncated
+    /// file under the final name.
     ///
     /// Failures are swallowed: the cache is an accelerator, never a
     /// correctness dependency, so a read-only disk just means re-simulating.
@@ -56,9 +74,19 @@ impl SweepCache {
         let tmp = self
             .dir
             .join(format!(".tmp-{}-{seq}-{key:016x}", std::process::id()));
-        if std::fs::write(&tmp, bytes).is_ok()
-            && std::fs::rename(&tmp, self.entry_path(key)).is_err()
-        {
+        let publish = || -> std::io::Result<()> {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+            std::fs::rename(&tmp, self.entry_path(key))?;
+            // Make the rename itself durable. Directory fsync is
+            // best-effort: not every platform lets you open a directory.
+            if let Ok(d) = std::fs::File::open(&self.dir) {
+                let _ = d.sync_all();
+            }
+            Ok(())
+        };
+        if publish().is_err() {
             let _ = std::fs::remove_file(&tmp);
         }
     }
@@ -93,6 +121,20 @@ mod tests {
         cache.store(2, b"two");
         assert_eq!(cache.load(1), Some(b"one".to_vec()));
         assert_eq!(cache.load(2), Some(b"two".to_vec()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_length_entry_reads_as_miss_and_is_overwritable() {
+        let dir = scratch("truncated");
+        let cache = SweepCache::new(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Simulate a crash mid-publish: the final name exists but holds
+        // no bytes.
+        std::fs::write(cache.dir().join(format!("{:016x}.bin", 7u64)), b"").unwrap();
+        assert_eq!(cache.load(7), None);
+        cache.store(7, b"recomputed");
+        assert_eq!(cache.load(7), Some(b"recomputed".to_vec()));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -99,12 +99,20 @@ impl FaultCounts {
 
 /// SplitMix64: tiny, dependency-free, and statistically adequate for
 /// fault scheduling (same generator the vendored proptest uses for its
-/// deterministic per-test streams).
+/// deterministic per-test streams). Public so other deterministic
+/// harnesses (e.g. `psca-fleet`'s per-die skew derivation) draw from
+/// the exact same stream family without reimplementing the mixer.
 #[derive(Debug, Clone)]
-struct SplitMix64(u64);
+pub struct SplitMix64(u64);
 
 impl SplitMix64 {
-    fn next_u64(&mut self) -> u64 {
+    /// A stream whose entire future is determined by `seed`.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64(seed)
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.0;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -113,11 +121,12 @@ impl SplitMix64 {
     }
 
     /// Uniform draw in [0, 1).
-    fn next_f64(&mut self) -> f64 {
+    pub fn next_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 
-    fn next_below(&mut self, n: usize) -> usize {
+    /// Uniform draw in `0..n` (`0` when `n == 0`).
+    pub fn next_below(&mut self, n: usize) -> usize {
         (self.next_u64() % n.max(1) as u64) as usize
     }
 }

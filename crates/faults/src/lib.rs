@@ -33,5 +33,7 @@
 mod inject;
 mod spec;
 
-pub use inject::{ActuationFault, FaultCounts, FaultInjector, PredictionFault, TelemetryFault};
+pub use inject::{
+    ActuationFault, FaultCounts, FaultInjector, PredictionFault, SplitMix64, TelemetryFault,
+};
 pub use spec::ChaosSpec;

@@ -67,6 +67,16 @@ impl ApiError {
         }
     }
 
+    /// 408: the client stalled past the per-connection read deadline
+    /// ([`ServeConfig::read_timeout_ms`](crate::ServeConfig::read_timeout_ms)).
+    pub fn timeout(message: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 408,
+            code: "request_timeout",
+            message: message.into(),
+        }
+    }
+
     /// 413: the request exceeds a size limit.
     pub fn too_large(message: impl Into<String>) -> ApiError {
         ApiError {

@@ -63,6 +63,11 @@ pub struct ServeConfig {
     pub max_connections: usize,
     /// Largest accepted request body.
     pub max_body_bytes: usize,
+    /// Per-connection read deadline (milliseconds) covering both the
+    /// header and body reads; a client that stalls past it gets a typed
+    /// `408` instead of pinning the worker. `repro serve` seeds this
+    /// from `--read-timeout-ms` / `PSCA_READ_TIMEOUT_MS`.
+    pub read_timeout_ms: u64,
     /// Optional chaos injected on the prediction endpoints.
     pub chaos: Option<ChaosSpec>,
     /// Service-level objective evaluated per request (`GET /v1/slo`);
@@ -81,6 +86,7 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             max_connections: 256,
             max_body_bytes: 1 << 20,
+            read_timeout_ms: 5_000,
             chaos: None,
             slo: Some(SloSpec::default()),
             access_log: None,
@@ -529,9 +535,26 @@ struct HttpRequest {
     body: String,
 }
 
+/// True when a socket read failed because the deadline elapsed rather
+/// than because the peer misbehaved. Unix reports `WouldBlock`, Windows
+/// `TimedOut`, for an expired `set_read_timeout`.
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
 /// Reads the head, then exactly `Content-Length` body bytes.
-fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<HttpRequest, ApiError> {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+///
+/// `read_timeout` is the per-read slow-client deadline
+/// ([`ServeConfig::read_timeout_ms`]); expiry surfaces as a typed `408`.
+fn read_request(
+    stream: &mut TcpStream,
+    max_body: usize,
+    read_timeout: Duration,
+) -> Result<HttpRequest, ApiError> {
+    let _ = stream.set_read_timeout(Some(read_timeout));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
     let mut buf: Vec<u8> = Vec::with_capacity(2048);
     let mut chunk = [0u8; 2048];
@@ -545,7 +568,12 @@ fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<HttpRequest, 
         match stream.read(&mut chunk) {
             Ok(0) => return Err(ApiError::bad_request("connection closed mid-request")),
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(_) => return Err(ApiError::bad_request("read timed out")),
+            Err(e) if is_timeout(&e) => {
+                return Err(ApiError::timeout(
+                    "read deadline exceeded before request head",
+                ))
+            }
+            Err(_) => return Err(ApiError::bad_request("read failed")),
         }
     };
     let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
@@ -588,7 +616,10 @@ fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<HttpRequest, 
             match stream.read(&mut chunk) {
                 Ok(0) => return Err(ApiError::bad_request("connection closed mid-body")),
                 Ok(n) => body.extend_from_slice(&chunk[..n]),
-                Err(_) => return Err(ApiError::bad_request("body read timed out")),
+                Err(e) if is_timeout(&e) => {
+                    return Err(ApiError::timeout("read deadline exceeded mid-body"))
+                }
+                Err(_) => return Err(ApiError::bad_request("body read failed")),
             }
         }
         body.truncate(len);
@@ -625,6 +656,7 @@ fn respond_traced(
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         411 => "Length Required",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
@@ -717,7 +749,11 @@ fn endpoint_key(method: &str, path: &str) -> &'static str {
 /// daemon shutdown.
 fn handle_connection(mut stream: TcpStream, queue_us: u64, shared: &Shared) -> bool {
     let started = Instant::now();
-    let parsed = read_request(&mut stream, shared.config.max_body_bytes);
+    let parsed = read_request(
+        &mut stream,
+        shared.config.max_body_bytes,
+        Duration::from_millis(shared.config.read_timeout_ms.max(1)),
+    );
     // Adopt the inbound trace id (fresh span for the server hop) or mint
     // a new context at ingress. Attached for the rest of the handling,
     // so every span/instant recorded below carries the request's ids —

@@ -76,6 +76,25 @@ fn crc32(bytes: &[u8]) -> u32 {
     !crc
 }
 
+/// FNV-1a fingerprint of an encoded image blob.
+///
+/// Fleet tooling uses this as a compact content id when reporting which
+/// image version is installed on each die: two byte-identical images have
+/// equal fingerprints, and any reencoding that changes a single weight
+/// changes it. Deliberately *not* the trailer's CRC-32: a version-2 blob
+/// ends with the CRC of its payload, and CRC-32 of `payload ++ crc` is
+/// the same residue constant for every payload, so reusing the trailer
+/// polynomial over the whole blob would fingerprint every image
+/// identically.
+pub fn fingerprint(bytes: &[u8]) -> u32 {
+    let mut h = 0x811C_9DC5u32;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
 const TAG_MLP: u8 = 0;
 const TAG_FOREST: u8 = 1;
 const TAG_LOGISTIC: u8 = 2;
@@ -394,6 +413,28 @@ mod tests {
         let data = dataset(200, 8);
         let lr = LogisticRegression::fit(&data, 1e-4, 100);
         roundtrip_matches(&FirmwareModel::Logistic(lr), 8);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_crc_trailed_blobs() {
+        // The CRC residue trap: every version-2 blob ends with the CRC of
+        // its payload, so CRC-32 over the whole blob is the same constant
+        // for *every* image. The fingerprint must not fall into it.
+        let a = encode(&FirmwareModel::Logistic(LogisticRegression::from_parts(
+            vec![1.0, 2.0],
+            0.0,
+            0.5,
+        )))
+        .unwrap();
+        let b = encode(&FirmwareModel::Logistic(LogisticRegression::from_parts(
+            vec![1.0, 2.0],
+            0.0,
+            0.25,
+        )))
+        .unwrap();
+        assert_ne!(a, b);
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+        assert_eq!(fingerprint(&a), fingerprint(&a.clone()));
     }
 
     #[test]

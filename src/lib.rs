@@ -24,6 +24,9 @@
 //!   `psca-prof` hierarchical self-profiler (`docs/PROFILING.md`)
 //! - [`serve`] — the adaptation-as-a-service HTTP daemon
 //!   (`docs/SERVING.md`)
+//! - [`fleet`] — seeded die fleets with per-die skew, staged firmware
+//!   rollout with canary cohorts, and automatic rollback
+//!   (`docs/FLEET.md`)
 //!
 //! # Example
 //!
@@ -45,6 +48,7 @@ pub use psca_adapt as adapt;
 pub use psca_cpu as cpu;
 pub use psca_exec as exec;
 pub use psca_faults as faults;
+pub use psca_fleet as fleet;
 pub use psca_ml as ml;
 pub use psca_obs as obs;
 pub use psca_serve as serve;

@@ -365,3 +365,44 @@ fn shutdown_drains_queued_requests() {
     // And the daemon is really gone.
     assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err());
 }
+
+#[test]
+fn stalled_clients_get_typed_408_not_a_pinned_worker() {
+    let registry = rf_registry(23);
+    let config = ServeConfig {
+        read_timeout_ms: 200,
+        ..ServeConfig::default()
+    };
+    let daemon = Daemon::start(config, registry).expect("bind loopback");
+    let addr = daemon.local_addr();
+
+    // Stall mid-head: the request line goes out, the terminating blank
+    // line never does.
+    let mut head_staller = TcpStream::connect(addr).unwrap();
+    head_staller
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    head_staller
+        .write_all(b"POST /v1/predict HTTP/1.1\r\nHost: x\r\n")
+        .unwrap();
+    let r = read_response(&mut head_staller);
+    assert_eq!(r.status, 408, "head staller: {}", r.body);
+    assert!(r.body.contains("request_timeout"), "body: {}", r.body);
+
+    // Stall mid-body: full head promising bytes that never arrive.
+    let mut body_staller = TcpStream::connect(addr).unwrap();
+    body_staller
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    body_staller
+        .write_all(b"POST /v1/predict HTTP/1.1\r\nHost: x\r\nContent-Length: 64\r\n\r\n{\"model\":")
+        .unwrap();
+    let r = read_response(&mut body_staller);
+    assert_eq!(r.status, 408, "body staller: {}", r.body);
+    assert!(r.body.contains("request_timeout"), "body: {}", r.body);
+
+    // The workers were never pinned: a healthy request still answers.
+    let r = send(addr, "GET", "/healthz", "");
+    assert_eq!(r.status, 200);
+    daemon.shutdown();
+}
