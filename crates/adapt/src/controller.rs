@@ -11,7 +11,7 @@ use crate::degrade::{DegradeConfig, DegradeLevel, DegradeSummary, PredictionHeal
 use crate::guardrail::{Guardrail, GuardrailConfig};
 use crate::sla::Sla;
 use crate::train::{TrainedAdaptModel, HORIZON};
-use psca_cpu::{ClusterSim, CpuConfig, Mode, ModeSwitchFault};
+use psca_cpu::{BackendChoice, CpuConfig, Mode, ModeSwitchFault};
 use psca_faults::{ActuationFault, ChaosSpec, FaultCounts, FaultInjector, PredictionFault};
 use psca_trace::{TraceSource, VecTrace};
 use psca_uc::image;
@@ -36,6 +36,11 @@ pub struct ClosedLoopOptions {
     /// with no faults enabled. The accounting result stays bit-identical
     /// to the fast path — a regression test enforces it.
     pub hardened: bool,
+    /// Simulation fidelity to drive the loop on. The default reference
+    /// [`BackendChoice::CycleAccurate`] is bit-identical to the
+    /// pre-backend code path; [`BackendChoice::Surrogate`] trades bounded
+    /// IPC/energy divergence for orders-of-magnitude faster evaluation.
+    pub backend: BackendChoice,
 }
 
 /// One closed-loop simulation, fully specified: the typed replacement for
@@ -103,6 +108,12 @@ impl<'a> ClosedLoopRequest<'a> {
         self
     }
 
+    /// Drives the loop on `backend` instead of the reference simulator.
+    pub fn with_backend(mut self, backend: BackendChoice) -> ClosedLoopRequest<'a> {
+        self.options.backend = backend;
+        self
+    }
+
     /// True when any configured fault rate is nonzero.
     fn faults_enabled(&self) -> bool {
         self.options
@@ -124,6 +135,7 @@ impl<'a> ClosedLoopRequest<'a> {
                 self.window,
                 self.interval_insts,
                 self.options.cpu.as_ref(),
+                self.options.backend,
             );
         }
         self.run_hardened().result
@@ -142,6 +154,7 @@ impl<'a> ClosedLoopRequest<'a> {
             self.window,
             self.interval_insts,
             self.options.cpu.as_ref(),
+            self.options.backend,
             &mut injector,
             self.options.degrade,
         )
@@ -193,21 +206,6 @@ impl ClosedLoopResult {
     }
 }
 
-/// Runs the adaptive CPU over a recorded trace.
-///
-/// `warm` is replayed first (telemetry discarded); `window` is the
-/// measured region. The prediction window is the model's granularity in
-/// base intervals of `interval_insts`.
-#[deprecated(note = "build a `ClosedLoopRequest` and call `run()`")]
-pub fn run_closed_loop(
-    model: &TrainedAdaptModel,
-    warm: &VecTrace,
-    window: &VecTrace,
-    interval_insts: u64,
-) -> ClosedLoopResult {
-    ClosedLoopRequest::new(model, warm, window, interval_insts).run()
-}
-
 /// The fault-free fast engine behind [`ClosedLoopRequest::run`].
 fn plain_loop(
     model: &TrainedAdaptModel,
@@ -215,10 +213,14 @@ fn plain_loop(
     window: &VecTrace,
     interval_insts: u64,
     cpu: Option<&CpuConfig>,
+    backend: BackendChoice,
 ) -> ClosedLoopResult {
     let _span = psca_obs::SpanTimer::start("adapt.closed_loop");
     let g = model.granularity;
-    let mut sim = ClusterSim::new(cpu.cloned().unwrap_or_else(CpuConfig::skylake_scaled));
+    let mut sim = backend.build(
+        cpu.cloned().unwrap_or_else(CpuConfig::skylake_scaled),
+        interval_insts,
+    );
     let mut warm_replay = warm.clone();
     sim.warm_up(&mut warm_replay, warm.len() as u64);
     let mut replay = window.clone();
@@ -363,47 +365,28 @@ pub struct HardenedLoopResult {
 /// window is gated by the model, the last known-good decision, the §3.1
 /// guardrail heuristic, or pinned high-performance.
 ///
+/// The watchdog engine behind [`ClosedLoopRequest::run_hardened`].
+///
 /// With a disabled injector the healthy path performs exactly the same
 /// simulator calls as [`ClosedLoopRequest::run`], so the result is
 /// bit-identical (a regression test enforces this).
-#[deprecated(
-    note = "build a `ClosedLoopRequest` with fault/degrade options and call \
-                     `run_hardened()`"
-)]
-pub fn run_closed_loop_hardened(
-    model: &TrainedAdaptModel,
-    warm: &VecTrace,
-    window: &VecTrace,
-    interval_insts: u64,
-    injector: &mut FaultInjector,
-    degrade_cfg: DegradeConfig,
-) -> HardenedLoopResult {
-    hardened_loop(
-        model,
-        warm,
-        window,
-        interval_insts,
-        None,
-        injector,
-        degrade_cfg,
-    )
-}
-
-/// The watchdog engine behind [`ClosedLoopRequest::run_hardened`]. Takes
-/// the injector by reference so the deprecated wrapper can pass a
-/// caller-owned one.
+#[allow(clippy::too_many_arguments)]
 fn hardened_loop(
     model: &TrainedAdaptModel,
     warm: &VecTrace,
     window: &VecTrace,
     interval_insts: u64,
     cpu: Option<&CpuConfig>,
+    backend: BackendChoice,
     injector: &mut FaultInjector,
     degrade_cfg: DegradeConfig,
 ) -> HardenedLoopResult {
     let _span = psca_obs::SpanTimer::start("adapt.closed_loop.hardened");
     let g = model.granularity;
-    let mut sim = ClusterSim::new(cpu.cloned().unwrap_or_else(CpuConfig::skylake_scaled));
+    let mut sim = backend.build(
+        cpu.cloned().unwrap_or_else(CpuConfig::skylake_scaled),
+        interval_insts,
+    );
     let mut warm_replay = warm.clone();
     sim.warm_up(&mut warm_replay, warm.len() as u64);
     let mut replay = window.clone();

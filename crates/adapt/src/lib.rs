@@ -47,8 +47,7 @@ pub use config::{ConfigError, ExperimentConfig, ExperimentConfigBuilder};
 pub use controller::{
     record_trace, ClosedLoopOptions, ClosedLoopRequest, ClosedLoopResult, HardenedLoopResult,
 };
-#[allow(deprecated)]
-pub use controller::{run_closed_loop, run_closed_loop_hardened};
-pub use paired::{collect_paired, CorpusTelemetry, TraceTelemetry};
+pub use paired::{collect_paired, collect_paired_with, CorpusTelemetry, TraceTelemetry};
+pub use psca_cpu::{BackendChoice, SimBackend};
 pub use sla::Sla;
 pub use train::{build_dataset, tune_threshold, Featurizer, ModelKind, TrainedAdaptModel, HORIZON};

@@ -9,7 +9,7 @@
 
 use crate::config::ExperimentConfig;
 use crate::sla::Sla;
-use psca_cpu::{ClusterSim, CpuConfig, Mode};
+use psca_cpu::{BackendChoice, CpuConfig, Mode};
 use psca_exec::{Digest, Sweep};
 use psca_telemetry::{Event, NUM_EVENTS};
 use psca_trace::{TraceSource, VecTrace};
@@ -18,7 +18,10 @@ use psca_workloads::{hdtr_corpus, spec};
 /// Bump whenever the simulator, workload synthesis, or the on-disk codec
 /// changes in a result-affecting way: stale `target/sweep-cache/` entries
 /// keyed under an older schema are then never read back.
-const CACHE_SCHEMA: u64 = 1;
+///
+/// Schema 2: cell keys carry the simulation backend tag, so surrogate and
+/// cycle-accurate cells can never collide.
+const CACHE_SCHEMA: u64 = 2;
 
 /// Paired per-interval telemetry of one trace.
 #[derive(Debug, Clone)]
@@ -148,7 +151,8 @@ impl TraceTelemetry {
     }
 }
 
-/// Simulates a recorded trace in both modes and collects telemetry.
+/// Simulates a recorded trace in both modes and collects telemetry on the
+/// reference cycle-accurate backend.
 ///
 /// `warmup_insts` are executed first with telemetry discarded (caches and
 /// predictors warm, as in §4.1).
@@ -160,6 +164,30 @@ pub fn collect_paired<S: TraceSource>(
     app_id: u32,
     app_name: &str,
     workload: u64,
+) -> TraceTelemetry {
+    collect_paired_with(
+        source,
+        warmup_insts,
+        intervals,
+        interval_insts,
+        app_id,
+        app_name,
+        workload,
+        BackendChoice::CycleAccurate,
+    )
+}
+
+/// [`collect_paired`] on a caller-chosen simulation fidelity.
+#[allow(clippy::too_many_arguments)]
+pub fn collect_paired_with<S: TraceSource>(
+    source: &mut S,
+    warmup_insts: u64,
+    intervals: usize,
+    interval_insts: u64,
+    app_id: u32,
+    app_name: &str,
+    workload: u64,
+    backend: BackendChoice,
 ) -> TraceTelemetry {
     let warm = VecTrace::record(source, warmup_insts);
     let window = VecTrace::record(source, intervals as u64 * interval_insts);
@@ -178,7 +206,7 @@ pub fn collect_paired<S: TraceSource>(
         insts: Vec::with_capacity(intervals),
     };
     for mode in [Mode::HighPerf, Mode::LowPower] {
-        let mut sim = ClusterSim::new(CpuConfig::skylake_scaled());
+        let mut sim = backend.build(CpuConfig::skylake_scaled(), interval_insts);
         sim.set_mode(mode);
         let mut warm_replay = warm.clone();
         sim.warm_up(&mut warm_replay, warmup_insts);
@@ -271,6 +299,7 @@ impl CorpusTelemetry {
             |&(app_id, input)| {
                 let mut d = Digest::new();
                 d.write_str("hdtr-cell")
+                    .write_str(cfg.backend.as_str())
                     .write_u64(CACHE_SCHEMA)
                     .write_u64(cfg.sub_seed("hdtr"))
                     .write_u64(cfg.hdtr_apps as u64)
@@ -287,7 +316,7 @@ impl CorpusTelemetry {
             |&(app_id, input)| {
                 let entry = &corpus[app_id];
                 let mut src = entry.app.trace(input);
-                collect_paired(
+                collect_paired_with(
                     &mut src,
                     cfg.hdtr_warmup_insts,
                     cfg.hdtr_intervals_per_trace,
@@ -295,6 +324,7 @@ impl CorpusTelemetry {
                     app_id as u32,
                     entry.app.name(),
                     input,
+                    cfg.backend,
                 )
             },
         );
@@ -327,6 +357,7 @@ impl CorpusTelemetry {
             |&(bench_id, input, simpoints)| {
                 let mut d = Digest::new();
                 d.write_str("spec-cell")
+                    .write_str(cfg.backend.as_str())
                     .write_u64(CACHE_SCHEMA)
                     .write_u64(cfg.sub_seed("spec"))
                     .write_u64(cfg.sub_seed("simpoints"))
@@ -366,7 +397,7 @@ impl CorpusTelemetry {
                             break;
                         }
                     }
-                    traces.push(collect_paired(
+                    traces.push(collect_paired_with(
                         &mut src,
                         cfg.spec_warmup_insts,
                         cfg.spec_intervals_per_simpoint,
@@ -374,6 +405,7 @@ impl CorpusTelemetry {
                         bench_id as u32,
                         app.bench.name,
                         input,
+                        cfg.backend,
                     ));
                 }
                 traces

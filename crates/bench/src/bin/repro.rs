@@ -9,6 +9,7 @@
 //! repro -- all --dash                # live TTY dashboard on stderr
 //! repro -- all --jobs 8              # worker threads (0 = auto; bit-identical)
 //! repro -- all --no-cache            # disable the persistent sweep cache
+//! repro -- all --backend surrogate   # learned fast-path fidelity (docs/SURROGATE.md)
 //! repro -- --chaos default --quick   # chaos harness; exit 1 on SLA breach
 //! repro -- --chaos uc.drop=0.1,seed=7 chaos-sweep
 //! repro -- serve                     # adaptation-as-a-service daemon
@@ -85,7 +86,27 @@ struct Cli {
     jobs: Option<usize>,
     /// Disables the persistent sweep result cache.
     no_cache: bool,
+    /// Simulation fidelity (`--backend`; `PSCA_BACKEND` as fallback).
+    backend: Option<String>,
     wanted: Vec<String>,
+}
+
+/// Resolves the simulation backend from an explicit `--backend` value,
+/// falling back to the `PSCA_BACKEND` environment variable. `None` means
+/// neither was given (keep the config default). Unknown names exit 2.
+fn resolve_backend(flag: Option<&str>) -> Option<psca_adapt::BackendChoice> {
+    let name = flag.map(str::to_string).or_else(|| {
+        std::env::var("PSCA_BACKEND")
+            .ok()
+            .filter(|v| !v.trim().is_empty())
+    })?;
+    match name.trim().parse() {
+        Ok(backend) => Some(backend),
+        Err(e) => {
+            eprintln!("[repro] {e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn parse_cli(args: &[String]) -> Cli {
@@ -97,6 +118,7 @@ fn parse_cli(args: &[String]) -> Cli {
         chaos: None,
         jobs: None,
         no_cache: false,
+        backend: None,
         wanted: Vec::new(),
     };
     let mut i = 0;
@@ -139,9 +161,19 @@ fn parse_cli(args: &[String]) -> Cli {
                 }
             }
             "--no-cache" => cli.no_cache = true,
+            "--backend" => {
+                i += 1;
+                match args.get(i) {
+                    Some(name) => cli.backend = Some(name.clone()),
+                    None => {
+                        eprintln!("[repro] --backend requires cycle_accurate or surrogate");
+                        std::process::exit(2);
+                    }
+                }
+            }
             flag if flag.starts_with("--") => {
                 eprintln!(
-                    "[repro] unknown flag '{flag}'. Known: --quick --dash --serve-metrics --trace-out PATH --chaos SPEC --jobs N --no-cache"
+                    "[repro] unknown flag '{flag}'. Known: --quick --dash --serve-metrics --trace-out PATH --chaos SPEC --jobs N --no-cache --backend NAME"
                 );
                 std::process::exit(2);
             }
@@ -180,9 +212,10 @@ fn serve_main(args: &[String]) -> ! {
         psca_adapt::ModelKind::BestRf,
         psca_adapt::ModelKind::BestMlp,
     ];
+    let mut backend_flag: Option<String> = None;
     let usage = "[repro] serve flags: --addr HOST:PORT --workers N --queue N \
                  --max-connections N --read-timeout-ms N --chaos SPEC --slo SPEC|off \
-                 --access-log PATH --seed N --models slug[,slug...] \
+                 --access-log PATH --seed N --backend NAME --models slug[,slug...] \
                  (slugs: best-rf best-mlp charstar srch-fine srch-coarse)";
     // Environment seeds the slow-client deadline; the flag overrides it.
     if let Some(ms) = std::env::var("PSCA_READ_TIMEOUT_MS")
@@ -223,6 +256,7 @@ fn serve_main(args: &[String]) -> ! {
                 }
             },
             "--access-log" => config.access_log = Some(std::path::PathBuf::from(value())),
+            "--backend" => backend_flag = Some(value()),
             "--models" => {
                 kinds = value()
                     .split(',')
@@ -245,13 +279,14 @@ fn serve_main(args: &[String]) -> ! {
         i += 1;
     }
     psca_obs::init_from_env();
-    let cfg = ExperimentConfig::builder()
-        .seed(seed)
-        .build()
-        .unwrap_or_else(|e| {
-            eprintln!("[repro] bad serve config: {e}");
-            std::process::exit(2);
-        });
+    let mut builder = ExperimentConfig::builder().seed(seed);
+    if let Some(backend) = resolve_backend(backend_flag.as_deref()) {
+        builder = builder.backend(backend);
+    }
+    let cfg = builder.build().unwrap_or_else(|e| {
+        eprintln!("[repro] bad serve config: {e}");
+        std::process::exit(2);
+    });
     eprintln!(
         "[repro] training serving registry ({} models)...",
         kinds.len()
@@ -548,11 +583,24 @@ fn experiments_main(args: &[String]) -> i32 {
             cfg.sweep_cache = Some(std::path::PathBuf::from(dir));
         }
     }
+    if let Some(backend) = resolve_backend(cli.backend.as_deref()) {
+        cfg.backend = backend;
+    }
+    // An explicit `--chaos` run is a pass/fail SLA gate: its verdict must
+    // come from the reference simulator, not an approximation of it.
+    if cli.chaos.is_some() && !cfg.backend.is_reference() {
+        eprintln!(
+            "[repro] {}",
+            psca_adapt::ConfigError::NonReferenceBackend(cfg.backend)
+        );
+        std::process::exit(2);
+    }
     eprintln!(
-        "[repro] config: {} (interval {} insts, {} HDTR apps, SLA P={:.2}, jobs {}, cache {})",
+        "[repro] config: {} (interval {} insts, {} HDTR apps, backend {}, SLA P={:.2}, jobs {}, cache {})",
         if cli.quick { "quick" } else { "full" },
         cfg.interval_insts,
         cfg.hdtr_apps,
+        cfg.backend.as_str(),
         cfg.sla.p_sla,
         if cfg.jobs == 0 {
             "auto".to_string()
@@ -586,6 +634,7 @@ fn experiments_main(args: &[String]) -> i32 {
         }
     );
     let mut report = RunReport::new(&run_id);
+    report.set("backend", cfg.backend.as_str());
     let mut acc = MetricsSnapshot::default();
     let mut corpora = Corpora::new();
     let mut chaos_failed = false;
@@ -797,8 +846,9 @@ fn closed_loop_main(args: &[String]) -> i32 {
     let mut seed = 1u64;
     let mut windows = 16u64;
     let mut warm_insts = 2_000u64;
+    let mut backend_flag: Option<String> = None;
     let usage = "[repro] closed-loop flags: --model SLUG --archetype NAME --seed N \
-                 --windows N --warm-insts N \
+                 --windows N --warm-insts N --backend NAME \
                  (slugs: best-rf best-mlp charstar srch-fine srch-coarse)";
     let mut i = 0;
     while i < args.len() {
@@ -816,6 +866,7 @@ fn closed_loop_main(args: &[String]) -> i32 {
             "--seed" => seed = parse_or_die(&value(), flag),
             "--windows" => windows = parse_or_die(&value(), flag),
             "--warm-insts" => warm_insts = parse_or_die(&value(), flag),
+            "--backend" => backend_flag = Some(value()),
             other => {
                 eprintln!("[repro] unknown closed-loop flag '{other}'\n{usage}");
                 return 2;
@@ -835,7 +886,11 @@ fn closed_loop_main(args: &[String]) -> i32 {
         return 2;
     };
     psca_obs::init_from_env();
-    let cfg = match ExperimentConfig::builder().seed(seed).build() {
+    let mut builder = ExperimentConfig::builder().seed(seed);
+    if let Some(backend) = resolve_backend(backend_flag.as_deref()) {
+        builder = builder.backend(backend);
+    }
+    let cfg = match builder.build() {
         Ok(cfg) => cfg,
         Err(e) => {
             eprintln!("[repro] bad closed-loop config: {e}");
@@ -849,11 +904,14 @@ fn closed_loop_main(args: &[String]) -> i32 {
         return 1;
     };
     let span = psca_obs::SpanTimer::start("repro.closed_loop");
-    let interval_insts = registry.config().interval_insts;
+    let run_cfg = registry.config();
+    let interval_insts = run_cfg.interval_insts;
     let mut gen = PhaseGenerator::new(archetype.center(), seed);
     let window_insts = windows * model.granularity_insts(interval_insts);
     let (warm, window) = psca_adapt::record_trace(&mut gen, warm_insts, window_insts);
-    let result = psca_adapt::ClosedLoopRequest::new(model, &warm, &window, interval_insts).run();
+    let result = psca_adapt::ClosedLoopRequest::new(model, &warm, &window, interval_insts)
+        .with_backend(run_cfg.backend)
+        .run();
     let wall = span.finish() as f64 / 1e9;
     // The summary goes to stdout and carries no wall-clock data, so
     // profiled and unprofiled runs diff clean.
@@ -861,6 +919,7 @@ fn closed_loop_main(args: &[String]) -> i32 {
         ("model", model_slug.as_str().into()),
         ("archetype", format!("{archetype:?}").into()),
         ("seed", seed.into()),
+        ("backend", run_cfg.backend.as_str().into()),
         ("windows", (result.modes.len() as u64).into()),
         ("instructions", result.instructions.into()),
         ("cycles", result.cycles.into()),
@@ -883,8 +942,9 @@ fn fleet_main(args: &[String]) -> i32 {
     let mut params = FleetParams::default();
     let mut jobs = 0usize;
     let mut out: Option<std::path::PathBuf> = None;
+    let mut backend_flag: Option<String> = None;
     let usage = "[repro] fleet flags: --size N --seed N --windows N --skew SPEC|off \
-                 --rollout SPEC|off --chaos SPEC --jobs N --bad-image --out PATH";
+                 --rollout SPEC|off --chaos SPEC --jobs N --backend NAME --bad-image --out PATH";
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -925,6 +985,7 @@ fn fleet_main(args: &[String]) -> i32 {
                 params.bad_image = true;
                 i -= 1;
             }
+            "--backend" => backend_flag = Some(value()),
             "--out" => out = Some(std::path::PathBuf::from(value())),
             other => {
                 eprintln!("[repro] unknown fleet flag '{other}'\n{usage}");
@@ -938,11 +999,11 @@ fn fleet_main(args: &[String]) -> i32 {
         return 2;
     }
     psca_obs::init_from_env();
-    let cfg = match ExperimentConfig::builder()
-        .seed(params.seed)
-        .jobs(jobs)
-        .build()
-    {
+    let mut builder = ExperimentConfig::builder().seed(params.seed).jobs(jobs);
+    if let Some(backend) = resolve_backend(backend_flag.as_deref()) {
+        builder = builder.backend(backend);
+    }
+    let cfg = match builder.build() {
         Ok(cfg) => cfg,
         Err(e) => {
             eprintln!("[repro] bad fleet config: {e}");
@@ -950,9 +1011,10 @@ fn fleet_main(args: &[String]) -> i32 {
         }
     };
     eprintln!(
-        "[repro] fleet: {} dies, seed {}, rollout {}...",
+        "[repro] fleet: {} dies, seed {}, backend {}, rollout {}...",
         params.size,
         params.seed,
+        cfg.backend.as_str(),
         match params.rollout {
             Some(spec) => spec.to_string(),
             None => "off".to_string(),
@@ -976,6 +1038,7 @@ fn fleet_main(args: &[String]) -> i32 {
     // the CI linger window, like the experiment drivers do.
     let mut run_report = RunReport::new(&format!("fleet-{}", params.seed));
     run_report.add_phase("repro.fleet", wall);
+    run_report.set("backend", report.backend.as_str());
     run_report.set("fleet_size", params.size as u64);
     run_report.set("fleet_status", report.status);
     run_report.set("fleet_rsv", report.fleet_rsv);
@@ -1021,8 +1084,10 @@ fn bench_main(args: &[String]) -> i32 {
     let mut seed = 1u64;
     let mut tolerance: Option<f64> = None;
     let mut only: Vec<String> = Vec::new();
+    let mut backend_flag: Option<String> = None;
     let usage = "[repro] bench flags: --update --check --quick --seed N --tolerance FRAC \
-                 --only name[,name...] (names: sim_throughput sweep inference serve)";
+                 --backend NAME --only name[,name...] \
+                 (names: sim_throughput sweep inference serve surrogate)";
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -1048,6 +1113,7 @@ fn bench_main(args: &[String]) -> i32 {
             }
             "--seed" => seed = parse_or_die(&value(), flag),
             "--tolerance" => tolerance = Some(parse_or_die(&value(), flag)),
+            "--backend" => backend_flag = Some(value()),
             "--only" => only = value().split(',').map(|s| s.trim().to_string()).collect(),
             other => {
                 eprintln!("[repro] unknown bench flag '{other}'\n{usage}");
@@ -1064,6 +1130,19 @@ fn bench_main(args: &[String]) -> i32 {
     for name in &names {
         if !suite::BENCHES.contains(&name.as_str()) {
             eprintln!("[repro] unknown bench '{name}'\n{usage}");
+            return 2;
+        }
+    }
+    // `repro bench` produces (--update) or gates against (--check) the
+    // committed baselines: a verdict-bearing path. Its numbers are only
+    // meaningful at reference fidelity, so a surrogate selection — flag
+    // or PSCA_BACKEND — is a typed usage error, never silently accepted.
+    if let Some(backend) = resolve_backend(backend_flag.as_deref()) {
+        if !backend.is_reference() {
+            eprintln!(
+                "[repro] {}",
+                psca_adapt::ConfigError::NonReferenceBackend(backend)
+            );
             return 2;
         }
     }

@@ -25,6 +25,8 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
+
 mod bpred;
 mod cache;
 mod config;
@@ -34,6 +36,7 @@ mod sim;
 mod summary;
 mod tlb;
 
+pub use backend::{BackendChoice, CycleAccurate, SimBackend, Surrogate, UnknownBackend};
 pub use bpred::{Btb, GsharePredictor};
 pub use cache::{AccessOutcome, Cache};
 pub use config::{CpuConfig, SteerPolicy};

@@ -70,7 +70,15 @@ where
             scope.spawn(move || {
                 let _ctx_guard = ctx.map(psca_obs::ctx::attach);
                 loop {
-                    let idx = match queues[w].lock().unwrap().pop_front() {
+                    // Bind the owned-queue pop before matching on it: a
+                    // `match` scrutinee's temporaries (here the queue's
+                    // MutexGuard) live to the end of the match, so
+                    // stealing inside the None arm would hold our own
+                    // queue's lock while taking a neighbour's — workers
+                    // going dry together then hold-and-wait in a cycle
+                    // and the sweep deadlocks.
+                    let own = queues[w].lock().unwrap().pop_front();
+                    let idx = match own {
                         Some(i) => Some(i),
                         None => (1..workers)
                             .find_map(|off| queues[(w + off) % workers].lock().unwrap().pop_back()),
@@ -135,6 +143,27 @@ mod tests {
         });
         assert_eq!(out.len(), 200);
         assert_eq!(ran.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn steal_path_never_holds_own_queue_lock() {
+        // Regression: the steal arm used to run with the worker's own
+        // queue guard still held (a match-scrutinee temporary lives to
+        // the end of the match), so workers going dry together could
+        // hold-and-wait in a cycle. Hammer many tiny sweeps; the
+        // watchdog turns a recurrence into a failure instead of a hung
+        // test suite.
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            for round in 0..200u64 {
+                let items: Vec<u64> = (0..64).collect();
+                let out = map_indexed(8, items, &|_, x| x ^ round);
+                assert_eq!(out.len(), 64);
+            }
+            tx.send(()).unwrap();
+        });
+        rx.recv_timeout(std::time::Duration::from_secs(60))
+            .expect("parallel sweeps deadlocked in the steal path");
     }
 
     #[test]

@@ -18,7 +18,7 @@ use psca_adapt::{
     collect_paired, record_trace, zoo, ClosedLoopRequest, CorpusTelemetry, ExperimentConfig,
     ModelKind, Sla, TrainedAdaptModel,
 };
-use psca_cpu::{ClusterSim, CpuConfig, Mode};
+use psca_cpu::{BackendChoice, ClusterSim, CpuConfig, Mode};
 use psca_faults::ChaosSpec;
 use psca_obs::Json;
 use psca_trace::VecTrace;
@@ -278,6 +278,7 @@ impl FleetSetup {
         let res = ClosedLoopRequest::new(&model, &prep.warm, &prep.window, self.cfg.interval_insts)
             .with_cpu(prep.cpu.clone())
             .with_faults(prep.chaos.clone())
+            .with_backend(self.cfg.backend)
             .run_hardened();
         let sla = Sla::paper_default();
         let low = res
@@ -348,6 +349,8 @@ pub struct DieRow {
 pub struct FleetReport {
     /// Parameters the run was invoked with.
     pub params: FleetParams,
+    /// Simulation fidelity every die ran at.
+    pub backend: BackendChoice,
     /// `(version, fingerprint, bytes)` of the baseline image.
     pub baseline: (u32, u32, usize),
     /// `(version, fingerprint, bytes)` of the candidate image.
@@ -430,6 +433,7 @@ impl FleetReport {
             .collect();
         Json::obj(vec![
             ("schema", Json::Str("psca-fleet/v1".to_string())),
+            ("backend", Json::Str(self.backend.as_str().to_string())),
             ("size", Json::UInt(self.params.size as u64)),
             ("seed", Json::UInt(self.params.seed)),
             ("windows", Json::UInt(self.params.windows)),
@@ -734,6 +738,7 @@ pub fn run_fleet(cfg: &ExperimentConfig, params: &FleetParams) -> FleetReport {
 
     FleetReport {
         params: params.clone(),
+        backend: cfg.backend,
         baseline: (
             setup.baseline.version,
             setup.baseline.fingerprint(),

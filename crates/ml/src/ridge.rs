@@ -1,0 +1,205 @@
+//! L2-regularized linear regression (ridge).
+//!
+//! The surrogate performance backend (`psca-cpu`) fuses analytical
+//! throughput bounds with a small learned residual; that residual is a
+//! ridge fit because it must be cheap to evaluate per interval, stable
+//! under the tiny calibration sets a post-silicon die can afford, and
+//! bit-deterministic (the normal equations below involve no iteration
+//! order that depends on threading or allocation).
+
+use crate::linalg::Matrix;
+
+/// A fitted ridge regressor `y ≈ w·x + b`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ridge {
+    weights: Vec<f64>,
+    intercept: f64,
+}
+
+impl Ridge {
+    /// Fits `y ≈ w·x + b` by solving the regularized normal equations
+    /// `(XᵀX + λI) w = Xᵀy` with a partial-pivoting Gaussian solve.
+    ///
+    /// The intercept is recovered from the feature/target means and is
+    /// not penalized. `lambda <= 0` is clamped to a small positive value
+    /// so the system stays well-posed even with collinear features.
+    ///
+    /// # Panics
+    /// Panics if `x` has no rows or `y.len() != x.rows()`.
+    pub fn fit(x: &Matrix, y: &[f64], lambda: f64) -> Ridge {
+        assert!(x.rows() > 0, "cannot fit ridge on an empty design matrix");
+        assert_eq!(y.len(), x.rows(), "target length must match rows");
+        let n = x.rows();
+        let d = x.cols();
+        let lambda = lambda.max(1e-9);
+
+        // Center features and targets so the intercept absorbs the means.
+        let mut x_mean = vec![0.0; d];
+        for r in 0..n {
+            for (m, v) in x_mean.iter_mut().zip(x.row(r)) {
+                *m += v;
+            }
+        }
+        for m in x_mean.iter_mut() {
+            *m /= n as f64;
+        }
+        let y_mean = y.iter().sum::<f64>() / n as f64;
+
+        // A = XcᵀXc + λI, b = Xcᵀyc.
+        let mut a = vec![0.0; d * d];
+        let mut b = vec![0.0; d];
+        for (r, &yv) in y.iter().enumerate().take(n) {
+            let row = x.row(r);
+            let yc = yv - y_mean;
+            for i in 0..d {
+                let xi = row[i] - x_mean[i];
+                b[i] += xi * yc;
+                for j in i..d {
+                    a[i * d + j] += xi * (row[j] - x_mean[j]);
+                }
+            }
+        }
+        for i in 0..d {
+            for j in 0..i {
+                a[i * d + j] = a[j * d + i];
+            }
+            a[i * d + i] += lambda;
+        }
+
+        let weights = solve(&mut a, &mut b, d);
+        let intercept = y_mean - weights.iter().zip(&x_mean).map(|(w, m)| w * m).sum::<f64>();
+        Ridge { weights, intercept }
+    }
+
+    /// Predicted value for one feature vector.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != n_features()`.
+    #[inline]
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.weights.len(), "feature dim mismatch");
+        self.intercept + self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>()
+    }
+
+    /// Number of input features.
+    pub fn n_features(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The fitted coefficient vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The fitted intercept.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+}
+
+/// In-place Gaussian elimination with partial pivoting on a dense
+/// row-major `d × d` system. The λ ridge on the diagonal keeps pivots
+/// bounded away from zero for any real design matrix.
+fn solve(a: &mut [f64], b: &mut [f64], d: usize) -> Vec<f64> {
+    for col in 0..d {
+        let mut pivot = col;
+        for r in col + 1..d {
+            if a[r * d + col].abs() > a[pivot * d + col].abs() {
+                pivot = r;
+            }
+        }
+        if pivot != col {
+            for j in 0..d {
+                a.swap(col * d + j, pivot * d + j);
+            }
+            b.swap(col, pivot);
+        }
+        let diag = a[col * d + col];
+        if diag.abs() < 1e-18 {
+            continue; // degenerate direction: leave weight at 0
+        }
+        for r in col + 1..d {
+            let f = a[r * d + col] / diag;
+            if f == 0.0 {
+                continue;
+            }
+            for j in col..d {
+                a[r * d + j] -= f * a[col * d + j];
+            }
+            b[r] -= f * b[col];
+        }
+    }
+    let mut w = vec![0.0; d];
+    for col in (0..d).rev() {
+        let mut acc = b[col];
+        for j in col + 1..d {
+            acc -= a[col * d + j] * w[j];
+        }
+        let diag = a[col * d + col];
+        w[col] = if diag.abs() < 1e-18 { 0.0 } else { acc / diag };
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_relation() {
+        // y = 2a - 3b + 5
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64 * 0.3, (i % 7) as f64])
+            .collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&refs);
+        let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] - 3.0 * r[1] + 5.0).collect();
+        let m = Ridge::fit(&x, &y, 1e-8);
+        assert!((m.weights()[0] - 2.0).abs() < 1e-4, "{:?}", m.weights());
+        assert!((m.weights()[1] + 3.0).abs() < 1e-4);
+        assert!((m.intercept() - 5.0).abs() < 1e-3);
+        assert!((m.predict(&[1.0, 1.0]) - 4.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn regularization_shrinks_weights() {
+        let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&refs);
+        let y: Vec<f64> = rows.iter().map(|r| 4.0 * r[0]).collect();
+        let loose = Ridge::fit(&x, &y, 1e-8);
+        let tight = Ridge::fit(&x, &y, 1e6);
+        assert!(tight.weights()[0].abs() < loose.weights()[0].abs());
+    }
+
+    #[test]
+    fn collinear_features_stay_finite() {
+        // Second column duplicates the first: XᵀX is singular without λ.
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, i as f64]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&refs);
+        let y: Vec<f64> = (0..10).map(|i| i as f64 * 6.0).collect();
+        let m = Ridge::fit(&x, &y, 1e-3);
+        assert!(m.weights().iter().all(|w| w.is_finite()));
+        assert!((m.predict(&[4.0, 4.0]) - 24.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let rows: Vec<Vec<f64>> = (0..25)
+            .map(|i| vec![(i * 17 % 11) as f64, (i * 3 % 5) as f64, i as f64])
+            .collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&refs);
+        let y: Vec<f64> = rows.iter().map(|r| r[0] - r[1] + 0.1 * r[2]).collect();
+        let a = Ridge::fit(&x, &y, 1e-4);
+        let b = Ridge::fit(&x, &y, 1e-4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_design_panics() {
+        let _ = Ridge::fit(&Matrix::zeros(0, 2), &[], 1.0);
+    }
+}

@@ -3,7 +3,7 @@
 //! status codes instead of panics or silent truncation.
 
 use psca_adapt::TrainedAdaptModel;
-use psca_cpu::Mode;
+use psca_cpu::{BackendChoice, Mode};
 use psca_faults::ChaosSpec;
 use psca_ml::Classifier;
 use psca_obs::Json;
@@ -299,6 +299,9 @@ pub struct ClosedLoopSpec {
     pub chaos: Option<ChaosSpec>,
     /// Run the hardened engine even without chaos.
     pub hardened: bool,
+    /// Simulation fidelity override; `None` uses the server's configured
+    /// default backend.
+    pub backend: Option<BackendChoice>,
 }
 
 /// Parses an archetype name, tolerant of case and `-`/`_` separators
@@ -366,6 +369,13 @@ impl ClosedLoopSpec {
                 })?),
             };
         let hardened = matches!(doc.get("hardened"), Some(Json::Bool(true)));
+        let backend = match doc.get("backend").and_then(Json::as_str) {
+            None => None,
+            Some(name) => Some(
+                name.parse::<BackendChoice>()
+                    .map_err(|e| ApiError::unprocessable("unknown_backend", e.to_string()))?,
+            ),
+        };
         Ok(ClosedLoopSpec {
             model,
             archetype,
@@ -374,6 +384,7 @@ impl ClosedLoopSpec {
             warm_insts,
             chaos,
             hardened,
+            backend,
         })
     }
 }
@@ -458,6 +469,21 @@ mod tests {
                 .code,
             "bad_chaos_spec"
         );
+    }
+
+    #[test]
+    fn closed_loop_spec_parses_backend_fidelity() {
+        let spec =
+            ClosedLoopSpec::parse(r#"{"model":"m","archetype":"balanced","backend":"surrogate"}"#)
+                .unwrap();
+        assert_eq!(spec.backend, Some(BackendChoice::Surrogate));
+        let spec = ClosedLoopSpec::parse(r#"{"model":"m","archetype":"balanced"}"#).unwrap();
+        assert!(spec.backend.is_none());
+        let err =
+            ClosedLoopSpec::parse(r#"{"model":"m","archetype":"balanced","backend":"oracle"}"#)
+                .unwrap_err();
+        assert_eq!(err.status, 422);
+        assert_eq!(err.code, "unknown_backend");
     }
 
     #[test]

@@ -1018,7 +1018,17 @@ fn run_closed_loop_endpoint(
     let mut gen = PhaseGenerator::new(spec.archetype.center(), spec.seed);
     let window_insts = spec.windows * model.granularity_insts(cfg.interval_insts);
     let (warm, window) = record_trace(&mut gen, spec.warm_insts, window_insts);
-    let mut request = ClosedLoopRequest::new(model, &warm, &window, cfg.interval_insts);
+    // Per-request fidelity wins; the daemon's experiment config (set by
+    // `repro serve --backend`) is the default.
+    let backend = spec.backend.unwrap_or(cfg.backend);
+    psca_obs::counter(if backend.is_reference() {
+        "serve.closed_loop.cycle_accurate"
+    } else {
+        "serve.closed_loop.surrogate"
+    })
+    .inc();
+    let mut request =
+        ClosedLoopRequest::new(model, &warm, &window, cfg.interval_insts).with_backend(backend);
     if let Some(chaos) = &spec.chaos {
         request = request.with_faults(chaos.clone());
     }
@@ -1026,6 +1036,7 @@ fn run_closed_loop_endpoint(
         ("model", spec.model.as_str().into()),
         ("archetype", format!("{:?}", spec.archetype).into()),
         ("seed", spec.seed.into()),
+        ("backend", backend.as_str().into()),
     ];
     let hardened = spec.hardened || spec.chaos.is_some();
     let mut escalations = 0;

@@ -24,6 +24,24 @@ pub trait TraceSource {
         None
     }
 
+    /// Advances past up to `n` instructions without yielding them,
+    /// returning how many were actually skipped (short at end of trace).
+    ///
+    /// The default pulls and discards one instruction at a time;
+    /// random-access sources ([`VecTrace`]) override it with an O(1)
+    /// cursor bump. Surrogate backends rely on this to pay only for the
+    /// instructions they sample.
+    fn skip(&mut self, n: u64) -> u64 {
+        let mut skipped = 0;
+        while skipped < n {
+            if self.next_instruction().is_none() {
+                break;
+            }
+            skipped += 1;
+        }
+        skipped
+    }
+
     /// Caps this source at `n` instructions.
     fn take_insts(self, n: u64) -> Take<Self>
     where
@@ -56,6 +74,10 @@ impl<T: TraceSource + ?Sized> TraceSource for Box<T> {
     fn remaining_hint(&self) -> Option<u64> {
         (**self).remaining_hint()
     }
+
+    fn skip(&mut self, n: u64) -> u64 {
+        (**self).skip(n)
+    }
 }
 
 impl<T: TraceSource + ?Sized> TraceSource for &mut T {
@@ -65,6 +87,10 @@ impl<T: TraceSource + ?Sized> TraceSource for &mut T {
 
     fn remaining_hint(&self) -> Option<u64> {
         (**self).remaining_hint()
+    }
+
+    fn skip(&mut self, n: u64) -> u64 {
+        (**self).skip(n)
     }
 }
 
@@ -130,6 +156,13 @@ impl TraceSource for VecTrace {
     fn remaining_hint(&self) -> Option<u64> {
         Some((self.insts.len() - self.pos) as u64)
     }
+
+    fn skip(&mut self, n: u64) -> u64 {
+        let left = (self.insts.len() - self.pos) as u64;
+        let skipped = n.min(left);
+        self.pos += skipped as usize;
+        skipped
+    }
 }
 
 /// Adapter returned by [`TraceSource::take_insts`].
@@ -158,6 +191,12 @@ impl<S: TraceSource> TraceSource for Take<S> {
             Some(r) => Some(r.min(self.left)),
             None => Some(self.left),
         }
+    }
+
+    fn skip(&mut self, n: u64) -> u64 {
+        let skipped = self.inner.skip(n.min(self.left));
+        self.left -= skipped;
+        skipped
     }
 }
 
@@ -255,6 +294,26 @@ mod tests {
         let rec = VecTrace::record(&mut src, 6);
         assert_eq!(rec.len(), 6);
         assert_eq!(src.remaining_hint(), Some(4));
+    }
+
+    #[test]
+    fn skip_advances_without_yielding() {
+        let mut t = VecTrace::new(nops(10));
+        assert_eq!(t.skip(3), 3);
+        assert_eq!(t.next_instruction().unwrap().pc, 12);
+        assert_eq!(t.skip(100), 6, "short skip at end of trace");
+        assert!(t.next_instruction().is_none());
+
+        // Take decrements its budget through skip.
+        let mut capped = VecTrace::new(nops(10)).take_insts(4);
+        assert_eq!(capped.skip(3), 3);
+        assert!(capped.next_instruction().is_some());
+        assert!(capped.next_instruction().is_none());
+
+        // The O(1) override is reachable through a trait object.
+        let mut b: Box<dyn TraceSource> = Box::new(VecTrace::new(nops(5)));
+        assert_eq!(b.skip(4), 4);
+        assert_eq!(b.remaining_hint(), Some(1));
     }
 
     #[test]

@@ -189,33 +189,30 @@ fn default_chaos_run_is_survivable() {
     assert!(res.window_ipc.iter().all(|v| v.is_finite() && *v > 0.0));
 }
 
-/// The deprecated positional wrappers stay thin: they must produce results
-/// bit-identical to the `ClosedLoopRequest` API they forward to.
+/// An explicit cycle-accurate backend selection is the default: requests
+/// with and without `with_backend(CycleAccurate)` are bit-identical, on
+/// both the plain and hardened engines.
 #[test]
-#[allow(deprecated)]
-fn deprecated_wrappers_match_the_request_api() {
-    use psca::faults::FaultInjector;
+fn explicit_cycle_accurate_backend_matches_default() {
+    use psca::adapt::BackendChoice;
 
     let (model, cfg) = model_and_cfg();
     let (warm, window) = trace_for(Archetype::Balanced, 47, 12);
-    let via_request = ClosedLoopRequest::new(model, &warm, &window, cfg.interval_insts).run();
-    let via_wrapper = psca::adapt::run_closed_loop(model, &warm, &window, cfg.interval_insts);
-    assert_eq!(via_request, via_wrapper);
+    let implicit = ClosedLoopRequest::new(model, &warm, &window, cfg.interval_insts).run();
+    let explicit = ClosedLoopRequest::new(model, &warm, &window, cfg.interval_insts)
+        .with_backend(BackendChoice::CycleAccurate)
+        .run();
+    assert_eq!(implicit, explicit);
 
     let spec = ChaosSpec::parse("seed=9,uc.drop=0.5").unwrap();
-    let hardened_request = ClosedLoopRequest::new(model, &warm, &window, cfg.interval_insts)
+    let implicit = ClosedLoopRequest::new(model, &warm, &window, cfg.interval_insts)
         .with_faults(spec.clone())
         .run_hardened();
-    let mut inj = FaultInjector::new(spec);
-    let hardened_wrapper = psca::adapt::run_closed_loop_hardened(
-        model,
-        &warm,
-        &window,
-        cfg.interval_insts,
-        &mut inj,
-        DegradeConfig::default(),
-    );
-    assert_eq!(hardened_request.result, hardened_wrapper.result);
-    assert_eq!(hardened_request.faults, hardened_wrapper.faults);
-    assert_eq!(hardened_request.degrade, hardened_wrapper.degrade);
+    let explicit = ClosedLoopRequest::new(model, &warm, &window, cfg.interval_insts)
+        .with_faults(spec)
+        .with_backend(BackendChoice::CycleAccurate)
+        .run_hardened();
+    assert_eq!(implicit.result, explicit.result);
+    assert_eq!(implicit.faults, explicit.faults);
+    assert_eq!(implicit.degrade, explicit.degrade);
 }
